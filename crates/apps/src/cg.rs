@@ -1,0 +1,236 @@
+//! Distributed conjugate gradient (NPB CG-style), the paper's Sec 6.5
+//! application.
+//!
+//! Row-block distribution with real numerics: every iteration performs a
+//! ring allgather of the search direction (heavy, rank-neighbour traffic)
+//! plus three allreduce dot products — a fixed, rank-based communication
+//! pattern, which is exactly what makes CG "perfectly suited for the
+//! reordering use-case" (same pattern every iteration).
+//!
+//! NPB class sizes are scaled to simulator scale; the communication
+//! *pattern* is preserved (see EXPERIMENTS.md for the substitution note).
+
+use mim_mpisim::{Comm, Rank};
+
+use crate::sparse::{dot, random_spd, Csr};
+
+/// A scaled NPB problem class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgClass {
+    /// Class letter (NPB naming).
+    pub name: &'static str,
+    /// Matrix order before padding to the communicator size.
+    pub na: usize,
+    /// Off-diagonal entries generated per row.
+    pub extra_per_row: usize,
+    /// CG iterations per run (NPB uses 25 for B–D, 15 for S/A).
+    pub iters: usize,
+    /// Floating-point operations per iteration of the *full-scale* NPB
+    /// class (total published Mop counts / iterations).  The numerics run
+    /// on the scaled matrix, but the virtual clock is charged the
+    /// full-scale compute so the communication/computation balance — which
+    /// Fig 7's ratios depend on — matches the paper's runs.
+    pub flops_per_iter: f64,
+}
+
+/// Scaled-down counterparts of the NPB classes used in the paper (B, C, D)
+/// plus the small classes for testing.
+pub const CLASSES: [CgClass; 5] = [
+    CgClass { name: "S", na: 512, extra_per_row: 4, iters: 15, flops_per_iter: 4.4e6 },
+    CgClass { name: "A", na: 2048, extra_per_row: 6, iters: 15, flops_per_iter: 1.0e8 },
+    CgClass { name: "B", na: 4096, extra_per_row: 8, iters: 25, flops_per_iter: 7.3e8 },
+    CgClass { name: "C", na: 8192, extra_per_row: 9, iters: 25, flops_per_iter: 1.9e9 },
+    CgClass { name: "D", na: 16384, extra_per_row: 10, iters: 25, flops_per_iter: 1.74e10 },
+];
+
+/// Look up a class by letter.
+pub fn class(name: &str) -> CgClass {
+    *CLASSES.iter().find(|c| c.name == name).expect("unknown CG class")
+}
+
+/// Generate the class's matrix padded so its order divides `nprocs`
+/// (padding rows are decoupled: diagonal 1, zero right-hand side).
+pub fn generate_matrix(class: CgClass, nprocs: usize, seed: u64) -> Csr {
+    let na = class.na.div_ceil(nprocs) * nprocs;
+    random_spd(na, class.extra_per_row, seed)
+}
+
+/// Per-rank outcome of a distributed CG run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgStats {
+    /// Final residual norm `‖b − A·x‖₂`.
+    pub residual: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Virtual wall time of the run on this rank (ns).
+    pub total_ns: f64,
+    /// Virtual time this rank spent inside communication calls (ns) — the
+    /// paper's "time spent in MPI calls" measurement.
+    pub comm_ns: f64,
+}
+
+/// Effective compute speed used to charge the virtual clock for local work:
+/// nanoseconds per floating-point operation (2 GFlop/s).
+const NS_PER_FLOP: f64 = 0.5;
+
+/// Solve `A·x = 1` with `iters` CG iterations over `comm` (row-block
+/// distribution).  Returns this rank's block of `x` and its statistics.
+///
+/// The iteration pattern is rank-based: allgather (ring) + 2 allreduces, so
+/// a rank reordering changes which physical cores exchange the heavy ring
+/// traffic without touching the numerics.
+///
+/// # Panics
+/// Panics when the matrix order is not a multiple of the communicator size.
+pub fn run_cg(rank: &Rank, comm: &Comm, a: &Csr, iters: usize) -> (Vec<f64>, CgStats) {
+    run_cg_charged(rank, comm, a, iters, 0.0)
+}
+
+/// [`run_cg`] with an explicit full-scale compute charge: every iteration
+/// additionally advances the virtual clock by
+/// `charged_flops_per_iter / comm.size() · NS_PER_FLOP` on each rank,
+/// emulating the class's real per-rank compute share (see [`CgClass`]).
+pub fn run_cg_charged(
+    rank: &Rank,
+    comm: &Comm,
+    a: &Csr,
+    iters: usize,
+    charged_flops_per_iter: f64,
+) -> (Vec<f64>, CgStats) {
+    let n = comm.size();
+    let na = a.order();
+    assert!(na.is_multiple_of(n), "matrix order {na} not divisible by {n} ranks");
+    let rows_per = na / n;
+    let me = comm.rank();
+    let my_rows = me * rows_per..(me + 1) * rows_per;
+
+    let start_ns = rank.now_ns();
+    let mut comm_ns = 0.0;
+
+    // b = 1 everywhere; x = 0; r = b; p = r.
+    let b_local = vec![1.0f64; rows_per];
+    let mut x = vec![0.0f64; rows_per];
+    let mut r = b_local.clone();
+    let mut p = r.clone();
+    let t0 = rank.now_ns();
+    let mut rho = rank.allreduce(comm, &[dot(&r, &r)], |a, b| a + b)[0];
+    comm_ns += rank.now_ns() - t0;
+
+    let mut q = vec![0.0f64; rows_per];
+    for _ in 0..iters {
+        // Gather the full search direction (the heavy ring).
+        let t0 = rank.now_ns();
+        let p_full = rank.allgather(comm, &p);
+        comm_ns += rank.now_ns() - t0;
+        // Local mat-vec, charged to the virtual clock.
+        a.spmv_rows(my_rows.clone(), &p_full, &mut q);
+        let local_nnz = (my_rows.end - my_rows.start).max(1) * (a.nnz() / na.max(1)).max(1);
+        rank.compute_ns(2.0 * local_nnz as f64 * NS_PER_FLOP);
+        let t0 = rank.now_ns();
+        let pq = rank.allreduce(comm, &[dot(&p, &q)], |a, b| a + b)[0];
+        comm_ns += rank.now_ns() - t0;
+        let alpha = rho / pq;
+        for i in 0..rows_per {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * q[i];
+        }
+        let t0 = rank.now_ns();
+        let rho_new = rank.allreduce(comm, &[dot(&r, &r)], |a, b| a + b)[0];
+        comm_ns += rank.now_ns() - t0;
+        let beta = rho_new / rho;
+        rho = rho_new;
+        for i in 0..rows_per {
+            p[i] = r[i] + beta * p[i];
+        }
+        rank.compute_ns(6.0 * rows_per as f64 * NS_PER_FLOP);
+        rank.compute_ns(charged_flops_per_iter / n as f64 * NS_PER_FLOP);
+    }
+    let stats = CgStats {
+        residual: rho.sqrt(),
+        iterations: iters,
+        total_ns: rank.now_ns() - start_ns,
+        comm_ns,
+    };
+    (x, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::cg_reference;
+    use mim_mpisim::{Universe, UniverseConfig};
+    use mim_topology::{Machine, Placement};
+
+    #[test]
+    fn distributed_cg_matches_sequential() {
+        let cls = CgClass { name: "T", na: 240, extra_per_row: 4, iters: 20, flops_per_iter: 0.0 };
+        let a = generate_matrix(cls, 8, 11);
+        let na = a.order();
+        let u = Universe::new(UniverseConfig::new(Machine::cluster(2, 1, 4), Placement::packed(8)));
+        let a2 = a.clone();
+        let results = u.launch(move |rank| {
+            let world = rank.comm_world();
+            let (x_local, stats) = run_cg(rank, &world, &a2, cls.iters);
+            (x_local, stats)
+        });
+        // Stitch the distributed solution together.
+        let mut x = Vec::with_capacity(na);
+        for (block, _) in &results {
+            x.extend_from_slice(block);
+        }
+        let (x_ref, res_ref, _) = cg_reference(&a, &vec![1.0; na], cls.iters, 0.0);
+        for i in 0..na {
+            assert!(
+                (x[i] - x_ref[i]).abs() < 1e-8 * x_ref[i].abs().max(1.0),
+                "x[{i}]: {} vs {}",
+                x[i],
+                x_ref[i]
+            );
+        }
+        // Residuals agree and communication time was accounted.
+        let (_, stats0) = &results[0];
+        assert!((stats0.residual - res_ref).abs() < 1e-8 * res_ref.max(1e-30));
+        assert!(stats0.comm_ns > 0.0);
+        assert!(stats0.total_ns >= stats0.comm_ns);
+    }
+
+    #[test]
+    fn all_ranks_report_same_residual() {
+        let cls = CgClass { name: "T", na: 128, extra_per_row: 3, iters: 10, flops_per_iter: 0.0 };
+        let a = generate_matrix(cls, 4, 5);
+        let u = Universe::new(UniverseConfig::new(Machine::cluster(2, 1, 2), Placement::packed(4)));
+        let residuals = u.launch(move |rank| {
+            let world = rank.comm_world();
+            run_cg(rank, &world, &a, cls.iters).1.residual
+        });
+        for r in &residuals[1..] {
+            assert_eq!(*r, residuals[0]);
+        }
+    }
+
+    #[test]
+    fn residual_decreases_with_iterations() {
+        let cls = CgClass { name: "T", na: 256, extra_per_row: 4, iters: 4, flops_per_iter: 0.0 };
+        let a = generate_matrix(cls, 4, 17);
+        let run = |iters: usize| {
+            let a = a.clone();
+            let u =
+                Universe::new(UniverseConfig::new(Machine::cluster(1, 1, 4), Placement::packed(4)));
+            u.launch(move |rank| {
+                let world = rank.comm_world();
+                run_cg(rank, &world, &a, iters).1.residual
+            })[0]
+        };
+        assert!(run(12) < run(3));
+    }
+
+    #[test]
+    fn classes_are_well_formed() {
+        for c in CLASSES {
+            assert!(c.na > 0 && c.iters > 0);
+        }
+        assert_eq!(class("B").na, 4096);
+        let m = generate_matrix(class("S"), 7, 1);
+        assert_eq!(m.order() % 7, 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! CSV and ASCII-chart emitters for the benchmark harness.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The repository's `results/` directory (created on demand).  Benchmarks
+/// write their CSVs here; the path can be overridden with the
+/// `MIM_RESULTS_DIR` environment variable.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("MIM_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Write a CSV file with a header line and stringly-typed rows.
+pub fn write_csv(path: &Path, header: &str, rows: &[Vec<String>]) {
+    let mut f = std::io::BufWriter::new(fs::File::create(path).expect("create CSV"));
+    writeln!(f, "{header}").expect("write CSV header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write CSV row");
+    }
+    f.flush().expect("flush CSV");
+}
+
+/// Render a simple aligned table for terminal output.
+pub fn ascii_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(ncols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let emit = |out: &mut String, cells: &[String]| {
+        for (c, cell) in cells.iter().enumerate().take(ncols) {
+            out.push_str(&format!("{:>width$}  ", cell, width = widths[c]));
+        }
+        out.push('\n');
+    };
+    emit(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    emit(
+        &mut out,
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        emit(&mut out, row);
+    }
+    out
+}
+
+/// Render a heatmap of `values[row][col]` with a diverging character ramp —
+/// negative values (red in the paper's Fig 6) as `-`/`=`, positive (green)
+/// as `+`/`#`.
+pub fn ascii_heatmap(
+    row_labels: &[String],
+    col_labels: &[String],
+    values: &[Vec<f64>],
+) -> String {
+    let cell = |v: f64| -> &'static str {
+        if v <= -50.0 {
+            " == "
+        } else if v < 0.0 {
+            "  - "
+        } else if v < 25.0 {
+            "  + "
+        } else if v < 60.0 {
+            " ++ "
+        } else {
+            " ## "
+        }
+    };
+    let label_w = row_labels.iter().map(String::len).max().unwrap_or(0).max(8);
+    let mut out = String::new();
+    out.push_str(&format!("{:>label_w$} |", "iters\\buf"));
+    for c in col_labels {
+        out.push_str(&format!("{c:>5}"));
+    }
+    out.push('\n');
+    for (r, row) in values.iter().enumerate() {
+        out.push_str(&format!("{:>label_w$} |", row_labels[r]));
+        for &v in row {
+            out.push_str(&format!("{:>5}", cell(v)));
+        }
+        out.push('\n');
+    }
+    out.push_str("legend: ## >60%  ++ 25..60%  + 0..25%  - <0%  == <-50%\n");
+    out
+}
+
+/// Format a nanosecond duration human-readably.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = ascii_table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a') && lines[0].contains("bbbb"));
+        assert!(lines[1].starts_with('-') || lines[1].contains("---"));
+    }
+
+    #[test]
+    fn heatmap_ramp() {
+        let h = ascii_heatmap(
+            &["1".into(), "10".into()],
+            &["1".into(), "2".into()],
+            &[vec![-80.0, -10.0], vec![30.0, 95.0]],
+        );
+        assert!(h.contains("==") && h.contains('-') && h.contains("++") && h.contains("##"));
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(1.5e9), "1.50s");
+        assert_eq!(fmt_ns(2.5e6), "2.50ms");
+        assert_eq!(fmt_ns(3.0e3), "3.00us");
+        assert_eq!(fmt_ns(42.0), "42ns");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mim-csv-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.csv");
+        write_csv(&p, "x,y", &[vec!["1".into(), "2".into()]]);
+        assert_eq!(fs::read_to_string(&p).unwrap(), "x,y\n1,2\n");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

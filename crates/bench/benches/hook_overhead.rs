@@ -1,0 +1,51 @@
+//! Microbenchmark of the monitoring hot path: how much a PML event costs
+//! with and without an active session — the mechanism behind Fig 4's
+//! "overhead is very small" claim, measured in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mim_core::Monitoring;
+use mim_mpisim::{SrcSel, TagSel, Universe, UniverseConfig};
+use mim_topology::{Machine, Placement};
+
+/// Wall time of `msgs` monitored or unmonitored ping messages between two
+/// ranks (measured around the whole launch; thread setup is identical in
+/// both arms, so the difference isolates the hook).
+fn ping_run(msgs: usize, monitored: bool) {
+    let machine = Machine::cluster(2, 1, 2);
+    let u = Universe::new(UniverseConfig::new(machine, Placement::packed(2)));
+    u.launch(move |rank| {
+        let world = rank.comm_world();
+        let mon = monitored.then(|| Monitoring::init(rank).unwrap());
+        let id = mon.as_ref().map(|m| m.start(rank, &world).unwrap());
+        if world.rank() == 0 {
+            for _ in 0..msgs {
+                rank.send_synthetic(&world, 1, 0, 4096);
+            }
+        } else {
+            for _ in 0..msgs {
+                rank.recv_synthetic(&world, SrcSel::Rank(0), TagSel::Any);
+            }
+        }
+        if let (Some(m), Some(id)) = (mon, id) {
+            m.suspend(id).unwrap();
+            m.free(id).unwrap();
+            m.finalize(rank).unwrap();
+        }
+    });
+}
+
+fn bench_hook(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monitoring_hook");
+    for monitored in [false, true] {
+        let label = if monitored { "monitored" } else { "bare" };
+        g.bench_with_input(BenchmarkId::new("ping_2k_msgs", label), &monitored, |b, &m| {
+            b.iter(|| ping_run(black_box(2000), m));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hook);
+criterion_main!(benches);

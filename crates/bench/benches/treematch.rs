@@ -1,0 +1,66 @@
+//! TreeMatch scaling and grouping-strategy ablation (feeds Table 1 and the
+//! DESIGN.md greedy-vs-exhaustive choice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mim_topology::{CommMatrix, Machine, Placement};
+use mim_treematch::affinity::stencil2d;
+use mim_treematch::{place_constrained, tree_match_with, GroupingStrategy};
+
+fn clustered_matrix(n: usize, clique: usize) -> CommMatrix {
+    let mut m = CommMatrix::zeros(n);
+    for base in (0..n).step_by(clique) {
+        for i in base..(base + clique).min(n) {
+            for j in base..(base + clique).min(n) {
+                if i != j {
+                    m.set(i, j, 100);
+                }
+            }
+        }
+    }
+    m
+}
+
+fn bench_tree_match(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_match");
+    for &order in &[256usize, 1024, 4096] {
+        let aff = stencil2d(order / 32, 32, 10);
+        let arities = [order / 24 + 1, 2, 12];
+        g.bench_with_input(BenchmarkId::new("stencil_greedy", order), &order, |b, _| {
+            b.iter(|| tree_match_with(black_box(&arities), &aff, GroupingStrategy::Greedy));
+        });
+    }
+    g.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grouping_strategy");
+    let m = clustered_matrix(16, 4);
+    let arities = [2usize, 2, 4];
+    for strat in [GroupingStrategy::Greedy, GroupingStrategy::Exhaustive] {
+        g.bench_with_input(
+            BenchmarkId::new("cliques16", format!("{strat:?}")),
+            &strat,
+            |b, &s| b.iter(|| tree_match_with(black_box(&arities), &m, s)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_constrained(c: &mut Criterion) {
+    let mut g = c.benchmark_group("place_constrained");
+    for &np in &[48usize, 96, 192] {
+        let machine = Machine::plafrim(np / 24);
+        let placement = Placement::cyclic_by_level(&machine.tree, np, machine.node_level);
+        let slots: Vec<usize> = (0..np).map(|r| placement.core_of(r)).collect();
+        let m = clustered_matrix(np, 8);
+        g.bench_with_input(BenchmarkId::from_parameter(np), &np, |b, _| {
+            b.iter(|| place_constrained(black_box(&machine), &slots, &m));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree_match, bench_strategies, bench_constrained);
+criterion_main!(benches);

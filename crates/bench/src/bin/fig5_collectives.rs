@@ -1,0 +1,61 @@
+//! Paper Fig 5: optimizing `MPI_Reduce` (binary tree, Fig 5a) and
+//! `MPI_Bcast` (binomial tree, Fig 5b) by monitoring their point-to-point
+//! decomposition and reordering ranks with TreeMatch.
+//!
+//! NP ∈ {48, 96, 192} (2/4/8 PlaFRIM nodes), buffers 10⁶ – 2·10⁸ ints.
+//! Baseline = node-cyclic "round-robin" mapping; optimized = monitored +
+//! reordered communicator.  Emits `results/fig5_collectives.csv`.
+
+use mim_apps::collbench::{collective_opt, CollectiveKind};
+use mim_apps::output::{ascii_table, fmt_ns, results_dir, write_csv};
+use mim_topology::Machine;
+
+fn main() {
+    let nps = mim_bench::sweep(&[(48usize, 2usize), (96, 4), (192, 8)], &[(48, 2)]);
+    let bufs = mim_bench::sweep(
+        &[1_000_000u64, 2_000_000, 5_000_000, 10_000_000, 20_000_000, 50_000_000, 100_000_000,
+          200_000_000],
+        &[1_000_000, 200_000_000],
+    );
+    let mut csv = Vec::new();
+    for kind in [CollectiveKind::ReduceBinary, CollectiveKind::BcastBinomial] {
+        println!("\n=== {} ===", kind.label());
+        for &(np, nodes) in &nps {
+            let mut rows = Vec::new();
+            for &buf in &bufs {
+                let p = collective_opt(Machine::plafrim(nodes), np, kind, buf);
+                csv.push(vec![
+                    kind.label().to_string(),
+                    np.to_string(),
+                    buf.to_string(),
+                    format!("{:.0}", p.baseline_ns),
+                    format!("{:.0}", p.reordered_ns),
+                    format!("{:.3}", p.speedup()),
+                ]);
+                rows.push(vec![
+                    format!("{}M ints", buf / 1_000_000),
+                    fmt_ns(p.baseline_ns),
+                    fmt_ns(p.reordered_ns),
+                    format!("{:.2}x", p.speedup()),
+                ]);
+            }
+            println!("NP = {np}:");
+            println!(
+                "{}",
+                ascii_table(&["buffer", "no monitoring", "monitored+reordered", "speedup"], &rows)
+            );
+        }
+    }
+    let dir = results_dir();
+    write_csv(
+        &dir.join("fig5_collectives.csv"),
+        "collective,np,buf_ints,baseline_ns,reordered_ns,speedup",
+        &csv,
+    );
+    println!(
+        "paper reference points (2e8 ints): reduce 15.16s→7.57s @96, 11.92s→5.01s @192;\n\
+         bcast 16.34s→10.24s @96, 15.11s→4.46s @192 — expect the same 'reordered wins,\n\
+         roughly 1.5–3x, growing with NP' shape.\nCSV: {}/fig5_collectives.csv",
+        dir.display()
+    );
+}

@@ -1,0 +1,47 @@
+//! `mim-bench` — the harness that regenerates every table and figure of the
+//! paper's evaluation section.  One binary per experiment:
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `fig2_counters` | Fig 2 (time series) + Fig 3 (cumulative): HW counters vs introspection |
+//! | `fig4_overhead` | Fig 4: monitoring overhead with 95% CIs |
+//! | `fig5_collectives` | Fig 5a/5b: reduce & bcast optimization sweeps |
+//! | `fig6_heatmap` | Fig 6: reordering-gain heatmap |
+//! | `fig7_cg` | Fig 7a/7b: NAS CG reordering gains |
+//! | `table1_treematch` | Table 1: TreeMatch time for large matrices |
+//!
+//! Each binary prints its table/series and writes CSVs into `results/`
+//! (override with `MIM_RESULTS_DIR`).  Set `MIM_QUICK=1` to shrink the
+//! sweeps for a fast smoke run.
+//!
+//! The Criterion benches (`hook_overhead`, `treematch`, `coll_algorithms`)
+//! are ablation microbenchmarks for the design choices called out in
+//! DESIGN.md.
+
+/// True when the `MIM_QUICK` environment variable requests reduced sweeps.
+pub fn quick_mode() -> bool {
+    std::env::var_os("MIM_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Pick between the full and the quick variant of a sweep.
+pub fn sweep<T: Clone>(full: &[T], quick: &[T]) -> Vec<T> {
+    if quick_mode() {
+        quick.to_vec()
+    } else {
+        full.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_picks_by_mode() {
+        // Cannot portably mutate the env in parallel tests; just check the
+        // non-quick shape.
+        if !quick_mode() {
+            assert_eq!(sweep(&[1, 2, 3], &[1]), vec![1, 2, 3]);
+        }
+    }
+}

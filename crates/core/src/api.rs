@@ -1,0 +1,365 @@
+//! The public monitoring API (the paper's `MPI_M_*` functions).
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::rc::Rc;
+
+use mim_mpisim::pml::LocalHookHandle;
+use mim_mpisim::{Comm, PmlEvent, Rank};
+use mim_topology::CommMatrix;
+
+use crate::error::{MonError, Result};
+use crate::flags::Flags;
+use crate::session::{Msid, SessionData, SessionState, SessionTable, MAX_SESSIONS};
+
+/// Per-session metadata returned by [`Monitoring::get_info`]
+/// (the paper's `MPI_M_get_info`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// Provided level of thread support; the library is thread-safe, so this
+    /// reports the `MPI_THREAD_MULTIPLE` level (3), like the paper's C
+    /// library running under a threaded Open MPI.
+    pub provided: i32,
+    /// Size of the `msg_counts` / `msg_sizes` arrays of
+    /// [`Monitoring::get_data`], and of one dimension of the square matrices
+    /// of the gather calls: the size of the session's communicator.
+    pub array_size: usize,
+}
+
+/// This process's monitored row (what `MPI_M_get_data` copies out).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRow {
+    /// `counts[d]` = number of messages sent by this process to
+    /// communicator rank `d`.
+    pub counts: Vec<u64>,
+    /// `sizes[d]` = bytes sent by this process to communicator rank `d`.
+    pub sizes: Vec<u64>,
+}
+
+/// Full gathered matrices (what `MPI_M_allgather_data` /
+/// `MPI_M_rootgather_data` produce).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatheredData {
+    /// `counts[i][j]` = messages sent from communicator rank `i` to `j`.
+    pub counts: CommMatrix,
+    /// `sizes[i][j]` = bytes sent from communicator rank `i` to `j`.
+    pub sizes: CommMatrix,
+}
+
+/// The monitoring environment of one process (paper: the state set up by
+/// `MPI_M_init` and torn down by `MPI_M_finalize`).
+///
+/// Created with [`Monitoring::init`], which plugs a recorder into the rank's
+/// PML interposition layer; destroyed with [`Monitoring::finalize`].  All
+/// methods are "thread-safe" in the paper's sense — here each rank is a
+/// thread that owns its `Monitoring`, which encodes the same guarantee in
+/// the type system (`Monitoring` is `!Send`).
+///
+/// Following the paper, every session-lifecycle and data-access function
+/// must be called by **all** processes of the session's communicator
+/// (`get_info` excepted); `start`, the gathers and `rootflush` really
+/// communicate, the others are local but the contract keeps states aligned.
+pub struct Monitoring {
+    state: Rc<RefCell<SessionTable>>,
+    hook: LocalHookHandle,
+    world_rank: usize,
+    finalized: std::cell::Cell<bool>,
+}
+
+impl Monitoring {
+    /// Set up the monitoring environment (`MPI_M_init`): registers the
+    /// recorder at the PML layer so every outgoing message is observed.
+    pub fn init(rank: &Rank) -> Result<Self> {
+        let state = Rc::new(RefCell::new(SessionTable::new(MAX_SESSIONS)));
+        let recorder = Rc::clone(&state);
+        let hook =
+            rank.add_local_hook(Rc::new(move |ev: &PmlEvent| recorder.borrow_mut().record(ev)));
+        Ok(Self {
+            state,
+            hook,
+            world_rank: rank.world_rank(),
+            finalized: std::cell::Cell::new(false),
+        })
+    }
+
+    /// Tear down the environment (`MPI_M_finalize`).  Any later use of this
+    /// environment fails with [`MonError::MissingInit`].
+    ///
+    /// # Errors
+    /// [`MonError::SessionStillActive`] when a session was not suspended
+    /// (the environment stays usable).  Suspended-but-unfreed sessions are
+    /// freed (the paper asks the user to free them; we do not leak either
+    /// way).
+    pub fn finalize(&self, rank: &Rank) -> Result<()> {
+        self.check_init()?;
+        if self.state.borrow().any_active() {
+            return Err(MonError::SessionStillActive);
+        }
+        if !rank.remove_local_hook(self.hook) {
+            return Err(MonError::MpitFail("monitoring hook already removed".into()));
+        }
+        self.finalized.set(true);
+        Ok(())
+    }
+
+    fn check_init(&self) -> Result<()> {
+        if self.finalized.get() {
+            return Err(MonError::MissingInit);
+        }
+        Ok(())
+    }
+
+    /// Create and start a session on `comm` (`MPI_M_start`).  Collective:
+    /// synchronizes the members so they begin watching from a common point.
+    ///
+    /// While active, the session records the count and size of every message
+    /// between two members of `comm` — whatever communicator carries it.
+    pub fn start(&self, rank: &Rank, comm: &Comm) -> Result<Msid> {
+        self.check_init()?;
+        rank.barrier(comm);
+        self.state.borrow_mut().insert(SessionData::new(comm.clone()))
+    }
+
+    /// Suspend an active session, making its data available
+    /// (`MPI_M_suspend`).  Accepts [`Msid::ALL`].
+    ///
+    /// # Errors
+    /// [`MonError::MultipleCall`] when the session is already suspended.
+    pub fn suspend(&self, msid: Msid) -> Result<()> {
+        self.check_init()?;
+        self.for_each(msid, |s| match s.state {
+            SessionState::Active => {
+                s.state = SessionState::Suspended;
+                Ok(())
+            }
+            SessionState::Suspended => Err(MonError::MultipleCall),
+        })
+    }
+
+    /// Restart a suspended session (`MPI_M_continue` — renamed because
+    /// `continue` is a Rust keyword).  Accepts [`Msid::ALL`].
+    ///
+    /// # Errors
+    /// [`MonError::MultipleCall`] when the session is already active.
+    pub fn resume(&self, msid: Msid) -> Result<()> {
+        self.check_init()?;
+        self.for_each(msid, |s| match s.state {
+            SessionState::Suspended => {
+                s.state = SessionState::Active;
+                Ok(())
+            }
+            SessionState::Active => Err(MonError::MultipleCall),
+        })
+    }
+
+    /// Zero the data of a suspended session (`MPI_M_reset`).
+    /// Accepts [`Msid::ALL`].
+    pub fn reset(&self, msid: Msid) -> Result<()> {
+        self.check_init()?;
+        self.for_each(msid, |s| {
+            if s.state != SessionState::Suspended {
+                return Err(MonError::SessionNotSuspended);
+            }
+            s.reset();
+            Ok(())
+        })
+    }
+
+    /// Free a suspended session; its data is no longer available
+    /// (`MPI_M_free`).  Accepts [`Msid::ALL`].
+    pub fn free(&self, msid: Msid) -> Result<()> {
+        self.check_init()?;
+        if msid == Msid::ALL {
+            let live = self.state.borrow().live_msids();
+            for m in live {
+                // With ALL, skip still-active sessions rather than failing
+                // half-way (specific ids keep the strict error).
+                let suspended =
+                    self.state.borrow().get(m)?.state == SessionState::Suspended;
+                if suspended {
+                    self.state.borrow_mut().remove(m)?;
+                }
+            }
+            return Ok(());
+        }
+        if self.state.borrow().get(msid)?.state != SessionState::Suspended {
+            return Err(MonError::SessionNotSuspended);
+        }
+        self.state.borrow_mut().remove(msid)?;
+        Ok(())
+    }
+
+    /// Session metadata (`MPI_M_get_info`) — the one call the paper allows
+    /// from a single process.
+    pub fn get_info(&self, msid: Msid) -> Result<SessionInfo> {
+        self.check_init()?;
+        let st = self.state.borrow();
+        let s = st.get(msid)?;
+        Ok(SessionInfo { provided: 3, array_size: s.comm.size() })
+    }
+
+    /// Copy out this process's row of the session's data (`MPI_M_get_data`),
+    /// restricted to the kinds selected by `flags`.
+    ///
+    /// # Errors
+    /// [`MonError::SessionNotSuspended`] while the session is active (data
+    /// access requires a suspended session).
+    pub fn get_data(&self, msid: Msid, flags: Flags) -> Result<SessionRow> {
+        self.check_init()?;
+        let st = self.state.borrow();
+        let s = st.get(msid)?;
+        if s.state != SessionState::Suspended {
+            return Err(MonError::SessionNotSuspended);
+        }
+        let (counts, sizes) = s.row(flags);
+        Ok(SessionRow { counts, sizes })
+    }
+
+    /// `get_data` followed by an allgather over the session's communicator
+    /// (`MPI_M_allgather_data`): every member receives the full matrices.
+    pub fn allgather_data(&self, rank: &Rank, msid: Msid, flags: Flags) -> Result<GatheredData> {
+        self.check_init()?;
+        let (row, comm) = self.row_and_comm(msid, flags)?;
+        // One collective moves both rows; the session being read is
+        // suspended, so it does not observe its own gather.
+        let n = comm.size();
+        let mut buf = row.counts;
+        buf.extend_from_slice(&row.sizes);
+        let gathered = rank.allgather(&comm, &buf);
+        let mut counts = CommMatrix::zeros(n);
+        let mut sizes = CommMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                counts.set(i, j, gathered[i * 2 * n + j]);
+                sizes.set(i, j, gathered[i * 2 * n + n + j]);
+            }
+        }
+        Ok(GatheredData { counts, sizes })
+    }
+
+    /// Like [`Monitoring::allgather_data`] but only `root` receives the data
+    /// (`MPI_M_rootgather_data`); other members get `None`.
+    pub fn rootgather_data(
+        &self,
+        rank: &Rank,
+        msid: Msid,
+        root: usize,
+        flags: Flags,
+    ) -> Result<Option<GatheredData>> {
+        self.check_init()?;
+        let (row, comm) = self.row_and_comm(msid, flags)?;
+        if root >= comm.size() {
+            return Err(MonError::InvalidRoot);
+        }
+        let n = comm.size();
+        let mut buf = row.counts;
+        buf.extend_from_slice(&row.sizes);
+        let Some(gathered) = rank.gather(&comm, root, &buf) else {
+            return Ok(None);
+        };
+        let mut counts = CommMatrix::zeros(n);
+        let mut sizes = CommMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                counts.set(i, j, gathered[i * 2 * n + j]);
+                sizes.set(i, j, gathered[i * 2 * n + n + j]);
+            }
+        }
+        Ok(Some(GatheredData { counts, sizes }))
+    }
+
+    /// Each process writes its own row to `"{filename}.{rank}.prof"`
+    /// (`MPI_M_flush`; `rank` is the communicator rank).
+    pub fn flush(&self, msid: Msid, filename: &str, flags: Flags) -> Result<()> {
+        self.check_init()?;
+        let (row, comm) = self.row_and_comm(msid, flags)?;
+        let path = format!("{filename}.{}.prof", comm.rank());
+        let file = File::create(&path)
+            .map_err(|e| MonError::InternalFail(format!("create {path}: {e}")))?;
+        let mut w = BufWriter::new(file);
+        write_row(&mut w, comm.rank(), &row)
+            .map_err(|e| MonError::InternalFail(format!("write {path}: {e}")))?;
+        Ok(())
+    }
+
+    /// `root` gathers all rows and writes two files,
+    /// `"{filename}_counts.{world_rank}.prof"` and
+    /// `"{filename}_sizes.{world_rank}.prof"` (`MPI_M_rootflush`; the rank in
+    /// the file name is the root's rank in `MPI_COMM_WORLD`, as in the paper).
+    pub fn rootflush(
+        &self,
+        rank: &Rank,
+        msid: Msid,
+        root: usize,
+        filename: &str,
+        flags: Flags,
+    ) -> Result<()> {
+        let Some(data) = self.rootgather_data(rank, msid, root, flags)? else {
+            return Ok(());
+        };
+        let world = rank.world_rank();
+        for (suffix, matrix) in [("counts", &data.counts), ("sizes", &data.sizes)] {
+            let path = format!("{filename}_{suffix}.{world}.prof");
+            let file = File::create(&path)
+                .map_err(|e| MonError::InternalFail(format!("create {path}: {e}")))?;
+            let mut w = BufWriter::new(file);
+            w.write_all(matrix.to_csv().as_bytes())
+                .and_then(|_| w.flush())
+                .map_err(|e| MonError::InternalFail(format!("write {path}: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// World rank of the process owning this environment.
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    // -- internals ------------------------------------------------------------
+
+    /// Fetch a suspended session's row and communicator without holding the
+    /// table borrow (the communicator calls that follow re-enter the
+    /// recording hook).
+    fn row_and_comm(&self, msid: Msid, flags: Flags) -> Result<(SessionRow, Comm)> {
+        let st = self.state.borrow();
+        let s = st.get(msid)?;
+        if s.state != SessionState::Suspended {
+            return Err(MonError::SessionNotSuspended);
+        }
+        let (counts, sizes) = s.row(flags);
+        Ok((SessionRow { counts, sizes }, s.comm.clone()))
+    }
+
+    fn for_each(
+        &self,
+        msid: Msid,
+        mut f: impl FnMut(&mut SessionData) -> Result<()>,
+    ) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        if msid == Msid::ALL {
+            for m in st.live_msids() {
+                // With ALL, apply to the sessions in the right state and
+                // skip the others (the strict errors only apply to a
+                // specific msid).
+                let _ = f(st.get_mut(m)?);
+            }
+            Ok(())
+        } else {
+            f(st.get_mut(msid)?)
+        }
+    }
+}
+
+fn write_row(w: &mut impl Write, my_rank: usize, row: &SessionRow) -> std::io::Result<()> {
+    writeln!(w, "# src dst msgs bytes")?;
+    for (dst, (&c, &b)) in row.counts.iter().zip(&row.sizes).enumerate() {
+        if c != 0 || b != 0 {
+            writeln!(w, "{my_rank} {dst} {c} {b}")?;
+        }
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests;

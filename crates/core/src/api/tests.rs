@@ -1,0 +1,338 @@
+//! End-to-end tests of the monitoring API on the live runtime.
+
+use mim_mpisim::{SrcSel, TagSel, Universe, UniverseConfig};
+use mim_topology::{Machine, Placement};
+
+use crate::error::MonError;
+use crate::flags::Flags;
+use crate::session::Msid;
+
+use super::Monitoring;
+
+fn universe(n: usize) -> Universe {
+    Universe::new(UniverseConfig::new(Machine::cluster(2, 2, 4), Placement::packed(n)))
+}
+
+#[test]
+fn ping_monitored_row_and_matrix() {
+    let u = universe(2);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let mon = Monitoring::init(rank).unwrap();
+        let id = mon.start(rank, &world).unwrap();
+        if world.rank() == 0 {
+            rank.send(&world, 1, 0, &[0u8; 100]);
+            rank.send(&world, 1, 0, &[0u8; 50]);
+        } else {
+            rank.recv::<u8>(&world, SrcSel::Rank(0), TagSel::Any);
+            rank.recv::<u8>(&world, SrcSel::Rank(0), TagSel::Any);
+        }
+        mon.suspend(id).unwrap();
+        let row = mon.get_data(id, Flags::P2P_ONLY).unwrap();
+        if world.rank() == 0 {
+            assert_eq!(row.counts, vec![0, 2]);
+            assert_eq!(row.sizes, vec![0, 150]);
+        } else {
+            assert_eq!(row.counts, vec![0, 0]);
+        }
+        let data = mon.allgather_data(rank, id, Flags::P2P_ONLY).unwrap();
+        assert_eq!(data.counts.get(0, 1), 2);
+        assert_eq!(data.sizes.get(0, 1), 150);
+        assert_eq!(data.counts.total(), 2);
+        mon.free(id).unwrap();
+        mon.finalize(rank).unwrap();
+    });
+}
+
+#[test]
+fn collective_decomposition_visible() {
+    // A binomial bcast over n ranks is decomposed into exactly n-1
+    // point-to-point messages of the payload size — the paper's headline
+    // feature.
+    let n = 8;
+    let payload = 4096u64;
+    let u = universe(n);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let mon = Monitoring::init(rank).unwrap();
+        let id = mon.start(rank, &world).unwrap();
+        let mut data = if world.rank() == 0 { vec![0u8; payload as usize] } else { vec![] };
+        rank.bcast(&world, 0, &mut data);
+        mon.suspend(id).unwrap();
+        let got = mon.allgather_data(rank, id, Flags::COLL_ONLY).unwrap();
+        assert_eq!(got.counts.total(), (n - 1) as u64);
+        assert_eq!(got.sizes.total(), payload * (n - 1) as u64);
+        // And nothing was classified as user p2p.
+        let p2p = mon.get_data(id, Flags::P2P_ONLY).unwrap();
+        assert!(p2p.counts.iter().all(|&c| c == 0));
+        mon.free(id).unwrap();
+        mon.finalize(rank).unwrap();
+    });
+}
+
+#[test]
+fn session_sees_traffic_on_other_communicators() {
+    // Paper Sec 4.1: a session on the even/odd split records exchanges
+    // between processes 0 and 2 even when they use MPI_COMM_WORLD.
+    let u = universe(4);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let me = world.rank();
+        let evens = rank.comm_split(&world, (me % 2) as i64, me as i64);
+        let mon = Monitoring::init(rank).unwrap();
+        let id = mon.start(rank, &evens).unwrap();
+        if me == 0 {
+            rank.send(&world, 2, 0, &[0u8; 64]); // member pair, via WORLD
+            rank.send(&world, 1, 0, &[0u8; 32]); // 1 is not in my split comm
+        }
+        if me == 1 || me == 2 {
+            rank.recv::<u8>(&world, SrcSel::Rank(0), TagSel::Any);
+        }
+        rank.barrier(&world);
+        mon.suspend(id).unwrap();
+        let row = mon.get_data(id, Flags::P2P_ONLY).unwrap();
+        if me == 0 {
+            // In the even communicator, world rank 2 is comm rank 1.
+            assert_eq!(row.counts, vec![0, 1]);
+            assert_eq!(row.sizes, vec![0, 64]);
+        } else {
+            assert!(row.sizes.iter().all(|&b| b == 0));
+        }
+        mon.free(id).unwrap();
+        mon.finalize(rank).unwrap();
+    });
+}
+
+#[test]
+fn overlapping_sessions_are_independent() {
+    let u = universe(2);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let mon = Monitoring::init(rank).unwrap();
+        let a = mon.start(rank, &world).unwrap();
+        send_one(rank, 10);
+        let b = mon.start(rank, &world).unwrap();
+        send_one(rank, 20);
+        mon.suspend(a).unwrap();
+        send_one(rank, 40);
+        mon.suspend(b).unwrap();
+        if world.rank() == 0 {
+            // a saw the first two sends, b the last two.
+            assert_eq!(mon.get_data(a, Flags::P2P_ONLY).unwrap().sizes[1], 30);
+            assert_eq!(mon.get_data(b, Flags::P2P_ONLY).unwrap().sizes[1], 60);
+        }
+        mon.free(Msid::ALL).unwrap();
+        mon.finalize(rank).unwrap();
+    });
+}
+
+fn send_one(rank: &mim_mpisim::Rank, bytes: usize) {
+    let world = rank.comm_world();
+    if world.rank() == 0 {
+        rank.send(&world, 1, 0, &vec![0u8; bytes]);
+    } else if world.rank() == 1 {
+        rank.recv::<u8>(&world, SrcSel::Rank(0), TagSel::Any);
+    }
+    rank.barrier(&world);
+}
+
+#[test]
+fn suspend_resume_reset_state_machine() {
+    let u = universe(2);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let mon = Monitoring::init(rank).unwrap();
+        let id = mon.start(rank, &world).unwrap();
+        // Data access while active is forbidden.
+        assert_eq!(mon.get_data(id, Flags::ALL_COMM).err(), Some(MonError::SessionNotSuspended));
+        assert_eq!(mon.reset(id).err(), Some(MonError::SessionNotSuspended));
+        assert_eq!(mon.resume(id).err(), Some(MonError::MultipleCall));
+        send_one(rank, 10);
+        mon.suspend(id).unwrap();
+        assert_eq!(mon.suspend(id).err(), Some(MonError::MultipleCall));
+        // Suspended sessions do not record.
+        send_one(rank, 100);
+        if world.rank() == 0 {
+            assert_eq!(mon.get_data(id, Flags::P2P_ONLY).unwrap().sizes[1], 10);
+        }
+        // Resume records again; reset zeroes.
+        mon.resume(id).unwrap();
+        send_one(rank, 5);
+        mon.suspend(id).unwrap();
+        if world.rank() == 0 {
+            assert_eq!(mon.get_data(id, Flags::P2P_ONLY).unwrap().sizes[1], 15);
+        }
+        mon.reset(id).unwrap();
+        assert_eq!(mon.get_data(id, Flags::P2P_ONLY).unwrap().sizes, vec![0, 0]);
+        mon.free(id).unwrap();
+        assert_eq!(mon.get_data(id, Flags::P2P_ONLY).err(), Some(MonError::InvalidMsid));
+        mon.finalize(rank).unwrap();
+    });
+}
+
+#[test]
+fn finalize_requires_suspended_sessions() {
+    let u = universe(2);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let mon = Monitoring::init(rank).unwrap();
+        let id = mon.start(rank, &world).unwrap();
+        assert_eq!(mon.finalize(rank).err(), Some(MonError::SessionStillActive));
+        // Suspend (without freeing): finalize now succeeds and frees it.
+        mon.suspend(id).unwrap();
+        mon.finalize(rank).unwrap();
+        // The environment is gone: everything reports MISSING_INIT.
+        assert_eq!(mon.get_data(id, Flags::ALL_COMM).err(), Some(MonError::MissingInit));
+        assert_eq!(mon.suspend(id).err(), Some(MonError::MissingInit));
+        assert_eq!(mon.finalize(rank).err(), Some(MonError::MissingInit));
+        // A fresh environment can be set up afterwards (paper: init/finalize
+        // may be called multiple times as long as environments don't overlap).
+        let mon2 = Monitoring::init(rank).unwrap();
+        let id2 = mon2.start(rank, &world).unwrap();
+        mon2.suspend(id2).unwrap();
+        mon2.free(id2).unwrap();
+        mon2.finalize(rank).unwrap();
+    });
+}
+
+#[test]
+fn rootgather_and_invalid_root() {
+    let u = universe(4);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let mon = Monitoring::init(rank).unwrap();
+        let id = mon.start(rank, &world).unwrap();
+        send_one(rank, 33);
+        mon.suspend(id).unwrap();
+        assert_eq!(
+            mon.rootgather_data(rank, id, 99, Flags::ALL_COMM).err(),
+            Some(MonError::InvalidRoot)
+        );
+        let data = mon.rootgather_data(rank, id, 2, Flags::P2P_ONLY).unwrap();
+        if world.rank() == 2 {
+            let data = data.expect("root receives the matrices");
+            assert_eq!(data.sizes.get(0, 1), 33);
+        } else {
+            assert!(data.is_none());
+        }
+        mon.free(id).unwrap();
+        mon.finalize(rank).unwrap();
+    });
+}
+
+#[test]
+fn barrier_generates_zero_length_messages() {
+    // Paper Sec 4.1: "some collective MPI routines might generate
+    // point-to-point zero-length messages".
+    let u = universe(4);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let mon = Monitoring::init(rank).unwrap();
+        let id = mon.start(rank, &world).unwrap();
+        rank.barrier(&world);
+        mon.suspend(id).unwrap();
+        let row = mon.get_data(id, Flags::COLL_ONLY).unwrap();
+        assert!(row.counts.iter().sum::<u64>() > 0, "barrier sends messages");
+        assert_eq!(row.sizes.iter().sum::<u64>(), 0, "barrier messages are empty");
+        mon.free(id).unwrap();
+        mon.finalize(rank).unwrap();
+    });
+}
+
+#[test]
+fn one_sided_traffic_classified_as_osc() {
+    let u = universe(2);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let mon = Monitoring::init(rank).unwrap();
+        let win = rank.win_create(&world, vec![0u8; 128]);
+        let id = mon.start(rank, &world).unwrap();
+        if world.rank() == 0 {
+            rank.put(&win, 1, 0, &[7u8; 128]);
+        }
+        rank.fence(&win);
+        mon.suspend(id).unwrap();
+        let row = mon.get_data(id, Flags::OSC_ONLY).unwrap();
+        if world.rank() == 0 {
+            assert_eq!(row.sizes, vec![0, 128]);
+            assert_eq!(row.counts, vec![0, 1]);
+        }
+        // The fence's barrier is collective traffic, not OSC.
+        let coll = mon.get_data(id, Flags::COLL_ONLY).unwrap();
+        assert!(coll.counts.iter().sum::<u64>() > 0);
+        mon.free(id).unwrap();
+        mon.finalize(rank).unwrap();
+        rank.win_free(win);
+    });
+}
+
+#[test]
+fn flush_and_rootflush_write_prof_files() {
+    let dir = std::env::temp_dir().join(format!("mim-core-flush-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("barrier").to_string_lossy().into_owned();
+    let u = universe(2);
+    {
+        let base = base.clone();
+        u.launch(move |rank| {
+            let world = rank.comm_world();
+            let mon = Monitoring::init(rank).unwrap();
+            let id = mon.start(rank, &world).unwrap();
+            if world.rank() == 0 {
+                rank.send(&world, 1, 0, &[1u8; 77]);
+            } else {
+                rank.recv::<u8>(&world, SrcSel::Any, TagSel::Any);
+            }
+            rank.barrier(&world);
+            mon.suspend(id).unwrap();
+            mon.flush(id, &base, Flags::P2P_ONLY).unwrap();
+            mon.rootflush(rank, id, 0, &base, Flags::P2P_ONLY).unwrap();
+            mon.free(id).unwrap();
+            mon.finalize(rank).unwrap();
+        });
+    }
+    let rank0 = std::fs::read_to_string(format!("{base}.0.prof")).unwrap();
+    assert!(rank0.contains("0 1 1 77"), "rank 0 row file: {rank0}");
+    let counts = std::fs::read_to_string(format!("{base}_counts.0.prof")).unwrap();
+    assert_eq!(counts, "0,1\n0,0\n");
+    let sizes = std::fs::read_to_string(format!("{base}_sizes.0.prof")).unwrap();
+    assert_eq!(sizes, "0,77\n0,0\n");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn all_msid_suspends_everything() {
+    let u = universe(2);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let mon = Monitoring::init(rank).unwrap();
+        let a = mon.start(rank, &world).unwrap();
+        let b = mon.start(rank, &world).unwrap();
+        mon.suspend(Msid::ALL).unwrap();
+        // Both suspended: data accessible on each.
+        mon.get_data(a, Flags::ALL_COMM).unwrap();
+        mon.get_data(b, Flags::ALL_COMM).unwrap();
+        // ALL resume, then ALL suspend again — idempotent across mixes.
+        mon.resume(a).unwrap();
+        mon.suspend(Msid::ALL).unwrap();
+        mon.free(Msid::ALL).unwrap();
+        assert_eq!(mon.get_data(a, Flags::ALL_COMM).err(), Some(MonError::InvalidMsid));
+        mon.finalize(rank).unwrap();
+    });
+}
+
+#[test]
+fn get_info_reports_comm_size() {
+    let u = universe(4);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let mon = Monitoring::init(rank).unwrap();
+        let id = mon.start(rank, &world).unwrap();
+        let info = mon.get_info(id).unwrap();
+        assert_eq!(info.array_size, 4);
+        assert_eq!(info.provided, 3);
+        mon.suspend(id).unwrap();
+        mon.free(id).unwrap();
+        mon.finalize(rank).unwrap();
+    });
+}

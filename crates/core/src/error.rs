@@ -1,0 +1,71 @@
+//! Error codes, mirroring the paper's `MPI_M_*` constants one for one.
+
+/// Monitoring library errors (paper Sec 4.3, "All these functions return an
+/// error value").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonError {
+    /// `MPI_M_INTERNAL_FAIL`: an internal error occurred (allocation or a
+    /// system call failed) — carries the failing operation.
+    InternalFail(String),
+    /// `MPI_M_MPIT_FAIL`: an MPI or MPI_T level operation failed.
+    MpitFail(String),
+    /// `MPI_M_MISSING_INIT`: no call to `init` has been done.
+    MissingInit,
+    /// `MPI_M_SESSION_STILL_ACTIVE`: at least one session has not been
+    /// suspended (raised by `finalize`).
+    SessionStillActive,
+    /// `MPI_M_SESSION_NOT_SUSPENDED`: the operation needs a suspended
+    /// session.
+    SessionNotSuspended,
+    /// `MPI_M_INVALID_MSID`: the given msid does not refer to a live
+    /// session, or is `ALL` where a specific session is required.
+    InvalidMsid,
+    /// `MPI_M_SESSION_OVERFLOW`: the maximum number of sessions is reached.
+    SessionOverflow,
+    /// `MPI_M_MULTIPLE_CALL`: `suspend` (resp. `continue`) called again
+    /// without an interleaving `continue` (resp. `suspend`).
+    MultipleCall,
+    /// `MPI_M_INVALID_ROOT`: the `root` parameter is out of range.
+    InvalidRoot,
+}
+
+impl std::fmt::Display for MonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonError::InternalFail(what) => write!(f, "MPI_M_INTERNAL_FAIL: {what}"),
+            MonError::MpitFail(what) => write!(f, "MPI_M_MPIT_FAIL: {what}"),
+            MonError::MissingInit => write!(f, "MPI_M_MISSING_INIT: init was not called"),
+            MonError::SessionStillActive => {
+                write!(f, "MPI_M_SESSION_STILL_ACTIVE: a session has not been suspended")
+            }
+            MonError::SessionNotSuspended => {
+                write!(f, "MPI_M_SESSION_NOT_SUSPENDED: the session is not suspended")
+            }
+            MonError::InvalidMsid => write!(f, "MPI_M_INVALID_MSID: unknown or freed session"),
+            MonError::SessionOverflow => {
+                write!(f, "MPI_M_SESSION_OVERFLOW: too many live sessions")
+            }
+            MonError::MultipleCall => {
+                write!(f, "MPI_M_MULTIPLE_CALL: suspend/continue called twice in a row")
+            }
+            MonError::InvalidRoot => write!(f, "MPI_M_INVALID_ROOT: root rank out of range"),
+        }
+    }
+}
+
+impl std::error::Error for MonError {}
+
+/// Library result type.
+pub type Result<T> = std::result::Result<T, MonError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_paper_names() {
+        assert!(MonError::MissingInit.to_string().contains("MPI_M_MISSING_INIT"));
+        assert!(MonError::InternalFail("open".into()).to_string().contains("open"));
+        assert!(MonError::InvalidRoot.to_string().contains("INVALID_ROOT"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Session state: identifiers, per-kind traffic rows, slot table.
+
+use std::collections::HashMap;
+
+use mim_mpisim::{Comm, PmlEvent};
+
+use crate::error::{MonError, Result};
+use crate::flags::Flags;
+
+/// A monitoring-session identifier (the paper's opaque `MPI_M_msid`).
+///
+/// Encodes a slot index and a generation counter so a freed-then-reused slot
+/// cannot be addressed through a stale id (`MPI_M_INVALID_MSID`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Msid(pub(crate) u64);
+
+impl Msid {
+    /// The paper's `MPI_M_ALL_MSID`: act on every live session.
+    pub const ALL: Msid = Msid(u64::MAX);
+
+    pub(crate) fn encode(slot: usize, generation: u32) -> Msid {
+        Msid(((generation as u64) << 32) | slot as u64)
+    }
+
+    pub(crate) fn slot(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+
+    pub(crate) fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// Lifecycle state of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Recording.
+    Active,
+    /// Not recording; data accessible.
+    Suspended,
+}
+
+/// One live session.
+pub(crate) struct SessionData {
+    pub(crate) comm: Comm,
+    /// world rank → communicator rank, for O(1) membership tests on the
+    /// send hot path.
+    members: HashMap<usize, usize>,
+    pub(crate) state: SessionState,
+    /// Messages sent by this process, per kind (p2p / coll / osc) and
+    /// destination communicator rank.
+    counts: [Vec<u64>; 3],
+    /// Bytes sent by this process, same indexing.
+    sizes: [Vec<u64>; 3],
+}
+
+impl SessionData {
+    pub(crate) fn new(comm: Comm) -> Self {
+        let n = comm.size();
+        let members = comm.group().iter().enumerate().map(|(r, &w)| (w, r)).collect();
+        Self {
+            comm,
+            members,
+            state: SessionState::Active,
+            counts: [vec![0; n], vec![0; n], vec![0; n]],
+            sizes: [vec![0; n], vec![0; n], vec![0; n]],
+        }
+    }
+
+    /// Record a wire event if the session is active and both endpoints are
+    /// members of the attached communicator — regardless of which
+    /// communicator carried the message.
+    pub(crate) fn record(&mut self, ev: &PmlEvent) {
+        if self.state != SessionState::Active {
+            return;
+        }
+        // The event's sender is this process; it is a member by construction
+        // (sessions are started collectively on their communicator), but a
+        // session started on a sub-communicator must ignore traffic to
+        // non-members.
+        let Some(&dst) = self.members.get(&ev.dst_world) else { return };
+        if !self.members.contains_key(&ev.src_world) {
+            return;
+        }
+        let k = Flags::kind_index(ev.kind);
+        self.counts[k][dst] += 1;
+        self.sizes[k][dst] += ev.bytes;
+    }
+
+    /// Zero all recorded data.
+    pub(crate) fn reset(&mut self) {
+        for k in 0..3 {
+            self.counts[k].fill(0);
+            self.sizes[k].fill(0);
+        }
+    }
+
+    /// This process's (counts, sizes) rows summed over the selected kinds.
+    pub(crate) fn row(&self, flags: Flags) -> (Vec<u64>, Vec<u64>) {
+        let n = self.comm.size();
+        let mut counts = vec![0u64; n];
+        let mut sizes = vec![0u64; n];
+        for k in flags.selected_indices() {
+            for d in 0..n {
+                counts[d] += self.counts[k][d];
+                sizes[d] += self.sizes[k][d];
+            }
+        }
+        (counts, sizes)
+    }
+}
+
+/// Fixed-capacity slot table for sessions (the paper has a maximum session
+/// count: `MPI_M_SESSION_OVERFLOW`).
+pub(crate) struct SessionTable {
+    slots: Vec<Option<SessionData>>,
+    generations: Vec<u32>,
+    max_sessions: usize,
+}
+
+/// Paper-faithful cap on simultaneously live sessions.
+pub const MAX_SESSIONS: usize = 256;
+
+impl SessionTable {
+    pub(crate) fn new(max_sessions: usize) -> Self {
+        Self { slots: Vec::new(), generations: Vec::new(), max_sessions }
+    }
+
+    pub(crate) fn insert(&mut self, data: SessionData) -> Result<Msid> {
+        if let Some(slot) = self.slots.iter().position(Option::is_none) {
+            self.slots[slot] = Some(data);
+            self.generations[slot] += 1;
+            return Ok(Msid::encode(slot, self.generations[slot]));
+        }
+        if self.slots.len() >= self.max_sessions {
+            return Err(MonError::SessionOverflow);
+        }
+        self.slots.push(Some(data));
+        self.generations.push(0);
+        Ok(Msid::encode(self.slots.len() - 1, 0))
+    }
+
+    pub(crate) fn get(&self, msid: Msid) -> Result<&SessionData> {
+        self.check(msid)?;
+        Ok(self.slots[msid.slot()].as_ref().unwrap())
+    }
+
+    pub(crate) fn get_mut(&mut self, msid: Msid) -> Result<&mut SessionData> {
+        self.check(msid)?;
+        Ok(self.slots[msid.slot()].as_mut().unwrap())
+    }
+
+    pub(crate) fn remove(&mut self, msid: Msid) -> Result<SessionData> {
+        self.check(msid)?;
+        Ok(self.slots[msid.slot()].take().unwrap())
+    }
+
+    fn check(&self, msid: Msid) -> Result<()> {
+        if msid == Msid::ALL {
+            return Err(MonError::InvalidMsid);
+        }
+        let slot = msid.slot();
+        if slot >= self.slots.len()
+            || self.slots[slot].is_none()
+            || self.generations[slot] != msid.generation()
+        {
+            return Err(MonError::InvalidMsid);
+        }
+        Ok(())
+    }
+
+    /// Msids of every live session.
+    pub(crate) fn live_msids(&self) -> Vec<Msid> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| Msid::encode(i, self.generations[i])))
+            .collect()
+    }
+
+    /// True when any session is active.
+    pub(crate) fn any_active(&self) -> bool {
+        self.slots
+            .iter()
+            .flatten()
+            .any(|s| s.state == SessionState::Active)
+    }
+
+    /// Record an event into every live session (each filters itself).
+    pub(crate) fn record(&mut self, ev: &PmlEvent) {
+        for s in self.slots.iter_mut().flatten() {
+            s.record(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mim_mpisim::MsgKind;
+    use std::sync::Arc;
+
+    fn comm3() -> Comm {
+        // World ranks 0, 2, 4; "we" are world rank 0 (comm rank 0).
+        Comm::from_raw(11, Arc::new(vec![0, 2, 4]), 0)
+    }
+
+    fn ev(dst_world: usize, bytes: u64, kind: MsgKind) -> PmlEvent {
+        PmlEvent {
+            src_world: 0,
+            dst_world,
+            src_core: 0,
+            dst_core: dst_world,
+            bytes,
+            kind,
+            vtime_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn msid_encoding_roundtrip() {
+        let m = Msid::encode(17, 3);
+        assert_eq!(m.slot(), 17);
+        assert_eq!(m.generation(), 3);
+        assert_ne!(m, Msid::ALL);
+    }
+
+    #[test]
+    fn records_members_only() {
+        let mut s = SessionData::new(comm3());
+        s.record(&ev(2, 100, MsgKind::P2pUser)); // member, comm rank 1
+        s.record(&ev(1, 999, MsgKind::P2pUser)); // not a member
+        let (counts, sizes) = s.row(Flags::ALL_COMM);
+        assert_eq!(counts, vec![0, 1, 0]);
+        assert_eq!(sizes, vec![0, 100, 0]);
+    }
+
+    #[test]
+    fn kind_separation_and_flag_sums() {
+        let mut s = SessionData::new(comm3());
+        s.record(&ev(2, 10, MsgKind::P2pUser));
+        s.record(&ev(2, 20, MsgKind::Collective));
+        s.record(&ev(4, 40, MsgKind::OneSided));
+        assert_eq!(s.row(Flags::P2P_ONLY).1, vec![0, 10, 0]);
+        assert_eq!(s.row(Flags::COLL_ONLY).1, vec![0, 20, 0]);
+        assert_eq!(s.row(Flags::OSC_ONLY).1, vec![0, 0, 40]);
+        assert_eq!(s.row(Flags::P2P_ONLY | Flags::COLL_ONLY).1, vec![0, 30, 0]);
+        assert_eq!(s.row(Flags::ALL_COMM).0, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn suspended_records_nothing_and_reset_zeroes() {
+        let mut s = SessionData::new(comm3());
+        s.record(&ev(2, 10, MsgKind::P2pUser));
+        s.state = SessionState::Suspended;
+        s.record(&ev(2, 10, MsgKind::P2pUser));
+        assert_eq!(s.row(Flags::ALL_COMM).0, vec![0, 1, 0]);
+        s.reset();
+        assert_eq!(s.row(Flags::ALL_COMM).1, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn table_overflow_and_stale_ids() {
+        let mut t = SessionTable::new(2);
+        let a = t.insert(SessionData::new(comm3())).unwrap();
+        let _b = t.insert(SessionData::new(comm3())).unwrap();
+        assert_eq!(t.insert(SessionData::new(comm3())), Err(MonError::SessionOverflow));
+        t.remove(a).unwrap();
+        let c = t.insert(SessionData::new(comm3())).unwrap();
+        // Slot is reused but the old id is stale.
+        assert_eq!(c.slot(), a.slot());
+        assert!(t.get(a).is_err());
+        assert!(t.get(c).is_ok());
+        assert_eq!(t.get(Msid::ALL).err(), Some(MonError::InvalidMsid));
+    }
+
+    #[test]
+    fn live_msids_and_any_active() {
+        let mut t = SessionTable::new(8);
+        let a = t.insert(SessionData::new(comm3())).unwrap();
+        let b = t.insert(SessionData::new(comm3())).unwrap();
+        assert_eq!(t.live_msids(), vec![a, b]);
+        assert!(t.any_active());
+        t.get_mut(a).unwrap().state = SessionState::Suspended;
+        t.get_mut(b).unwrap().state = SessionState::Suspended;
+        assert!(!t.any_active());
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests for the monitoring library's data model.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mim_core::{Flags, MonError, Monitoring, Msid};
+use mim_mpisim::{MsgKind, SrcSel, TagSel, Universe, UniverseConfig};
+use mim_topology::{Machine, Placement};
+
+fn arb_flags() -> impl Strategy<Value = Flags> {
+    prop::sample::select(vec![
+        Flags::P2P_ONLY,
+        Flags::COLL_ONLY,
+        Flags::OSC_ONLY,
+        Flags::P2P_ONLY | Flags::COLL_ONLY,
+        Flags::P2P_ONLY | Flags::OSC_ONLY,
+        Flags::COLL_ONLY | Flags::OSC_ONLY,
+        Flags::ALL_COMM,
+    ])
+}
+
+proptest! {
+    #[test]
+    fn flags_union_behaviour(f in arb_flags(), g in arb_flags()) {
+        let u = f | g;
+        prop_assert!(u.contains(f) && u.contains(g));
+        for kind in [MsgKind::P2pUser, MsgKind::Collective, MsgKind::OneSided] {
+            prop_assert_eq!(
+                u.includes_kind(kind),
+                f.includes_kind(kind) || g.includes_kind(kind)
+            );
+        }
+    }
+
+    #[test]
+    fn msid_never_collides_with_all(slot in 0u32..1000, generation in any::<u32>()) {
+        // Internal representation detail surfaced through equality with ALL.
+        let _ = (slot, generation);
+        prop_assert!(Msid::ALL == Msid::ALL);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random message streams: the session's row must equal a naive model
+    /// of "bytes/messages I sent to each member while active".
+    #[test]
+    #[allow(clippy::needless_range_loop)] // indices address several arrays at once
+    fn session_rows_match_naive_model(
+        msgs in prop::collection::vec((1usize..4, 1u64..5000, any::<bool>()), 1..25)
+    ) {
+        let n = 4;
+        let msgs = Arc::new(msgs);
+        let u = Universe::new(UniverseConfig::new(Machine::cluster(2, 1, 4), Placement::packed(n)));
+        let msgs2 = Arc::clone(&msgs);
+        let rows = u.launch(move |rank| {
+            let world = rank.comm_world();
+            let mon = Monitoring::init(rank).unwrap();
+            let id = mon.start(rank, &world).unwrap();
+            let mut expect = vec![(0u64, 0u64); n]; // (count, bytes) I sent
+            let mut active = true;
+            if world.rank() == 0 {
+                for &(dst, bytes, toggle) in msgs2.iter() {
+                    if toggle {
+                        if active {
+                            mon.suspend(id).unwrap();
+                        } else {
+                            mon.resume(id).unwrap();
+                        }
+                        active = !active;
+                    }
+                    rank.send_synthetic(&world, dst, 7, bytes);
+                    if active {
+                        expect[dst].0 += 1;
+                        expect[dst].1 += bytes;
+                    }
+                }
+                // Signal each receiver it is done.
+                for dst in 1..n {
+                    rank.send_synthetic(&world, dst, 8, 0);
+                }
+                if active {
+                    expect[1].0 += 1; // dst 1 also gets its end marker counted
+                    for d in 2..n {
+                        expect[d].0 += 1;
+                    }
+                }
+            } else {
+                loop {
+                    let st = rank.recv_synthetic(&world, SrcSel::Rank(0), TagSel::Any);
+                    if st.tag == 8 {
+                        break;
+                    }
+                }
+            }
+            if active {
+                mon.suspend(id).unwrap();
+            } else {
+                mon.resume(id).unwrap();
+                mon.suspend(id).unwrap();
+            }
+            let row = mon.get_data(id, Flags::P2P_ONLY).unwrap();
+            mon.free(id).unwrap();
+            mon.finalize(rank).unwrap();
+            (row, expect)
+        });
+        let (row, expect) = &rows[0];
+        for d in 0..n {
+            prop_assert_eq!(row.counts[d], expect[d].0, "count to {}", d);
+            prop_assert_eq!(row.sizes[d], expect[d].1, "bytes to {}", d);
+        }
+    }
+
+    /// Reset at arbitrary points always leaves exactly the post-reset
+    /// traffic in the session.
+    #[test]
+    fn reset_splits_the_stream(before in 0usize..10, after in 0usize..10) {
+        let u = Universe::new(UniverseConfig::new(Machine::cluster(1, 1, 2), Placement::packed(2)));
+        u.launch(move |rank| {
+            let world = rank.comm_world();
+            let mon = Monitoring::init(rank).unwrap();
+            let id = mon.start(rank, &world).unwrap();
+            let burst = |k: usize| {
+                if world.rank() == 0 {
+                    for _ in 0..k {
+                        rank.send_synthetic(&world, 1, 0, 10);
+                    }
+                } else {
+                    for _ in 0..k {
+                        rank.recv_synthetic(&world, SrcSel::Rank(0), TagSel::Any);
+                    }
+                }
+                rank.barrier(&world);
+            };
+            burst(before);
+            mon.suspend(id).unwrap();
+            mon.reset(id).unwrap();
+            mon.resume(id).unwrap();
+            burst(after);
+            mon.suspend(id).unwrap();
+            let row = mon.get_data(id, Flags::P2P_ONLY).unwrap();
+            if world.rank() == 0 {
+                assert_eq!(row.counts[1], after as u64);
+                assert_eq!(row.sizes[1], 10 * after as u64);
+            }
+            mon.free(id).unwrap();
+            mon.finalize(rank).unwrap();
+        });
+    }
+
+    /// Lifecycle fuzz: random op sequences never corrupt the table — every
+    /// call returns either Ok or a documented error, and a final cleanup
+    /// always succeeds.
+    #[test]
+    fn lifecycle_fuzz_is_total(ops in prop::collection::vec(0u8..5, 1..40)) {
+        let u = Universe::new(UniverseConfig::new(Machine::cluster(1, 1, 1), Placement::packed(1)));
+        u.launch(move |rank| {
+            let world = rank.comm_world();
+            let mon = Monitoring::init(rank).unwrap();
+            let mut sessions: Vec<Msid> = Vec::new();
+            for &op in &ops {
+                match op {
+                    0 => {
+                        if let Ok(id) = mon.start(rank, &world) {
+                            sessions.push(id);
+                        }
+                    }
+                    1 => {
+                        if let Some(&id) = sessions.first() {
+                            let r = mon.suspend(id);
+                            assert!(matches!(r, Ok(()) | Err(MonError::MultipleCall)));
+                        }
+                    }
+                    2 => {
+                        if let Some(&id) = sessions.first() {
+                            let r = mon.resume(id);
+                            assert!(matches!(r, Ok(()) | Err(MonError::MultipleCall)));
+                        }
+                    }
+                    3 => {
+                        if let Some(&id) = sessions.first() {
+                            let r = mon.reset(id);
+                            assert!(matches!(r, Ok(()) | Err(MonError::SessionNotSuspended)));
+                        }
+                    }
+                    _ => {
+                        if let Some(&id) = sessions.first() {
+                            match mon.free(id) {
+                                Ok(()) => {
+                                    sessions.remove(0);
+                                }
+                                Err(MonError::SessionNotSuspended) => {}
+                                Err(e) => panic!("unexpected error: {e}"),
+                            }
+                        }
+                    }
+                }
+            }
+            mon.suspend(Msid::ALL).unwrap();
+            mon.free(Msid::ALL).unwrap();
+            mon.finalize(rank).unwrap();
+        });
+    }
+}

@@ -1,0 +1,2 @@
+//! `mim-integration` — empty library crate whose only purpose is to host the
+//! repository-root `tests/` directory (cross-crate integration tests).

@@ -1,0 +1,315 @@
+//! Additional collective algorithms: reduce-scatter, scan, recursive-
+//! doubling allgather, and segmented (pipelined) broadcast.
+//!
+//! The segmented broadcast matters for the Fig 5 discussion: production
+//! MPI libraries never ship an 800 MB buffer as one message — they chunk it
+//! so tree levels pipeline, which changes how much a bad rank order hurts.
+
+use super::{combine, csend, crecv, vrank_of, world_of_vrank};
+use crate::comm::Comm;
+use crate::datatype::Scalar;
+use crate::runtime::Rank;
+
+/// Reduce-scatter with equal blocks: every rank contributes `n·block` items
+/// and receives the element-wise reduction of block `rank`.  Implemented as
+/// recursive halving for power-of-two sizes, with a reduce + scatter
+/// fallback otherwise (the classic MPICH structure).
+pub fn reduce_scatter_block<T: Scalar>(
+    rank: &Rank,
+    comm: &Comm,
+    data: &[T],
+    op: impl Fn(T, T) -> T,
+) -> Vec<T> {
+    let n = comm.size();
+    assert!(data.len().is_multiple_of(n), "reduce_scatter buffer not divisible by communicator size");
+    let block = data.len() / n;
+    let me = comm.rank();
+    if n == 1 {
+        return data.to_vec();
+    }
+    if !n.is_power_of_two() {
+        // Fallback: binomial reduce to rank 0, then linear scatter.
+        let reduced = super::reduce_binomial(rank, comm, 0, data, &op);
+        return super::scatter_linear(rank, comm, 0, reduced.as_deref());
+    }
+    // Recursive halving: at each step exchange the half of the buffer the
+    // peer is responsible for, and keep reducing the half we own.
+    let tag = rank.next_coll_tag(comm);
+    let mut acc = data.to_vec();
+    // Owned block range, in blocks.
+    let (mut lo, mut hi) = (0usize, n);
+    let mut mask = n / 2;
+    while mask > 0 {
+        let peer = me ^ mask;
+        let mid = (lo + hi) / 2;
+        let (send_range, keep_range) = if me & mask == 0 {
+            // Peer owns the upper half.
+            ((mid * block)..(hi * block), (lo * block)..(mid * block))
+        } else {
+            ((lo * block)..(mid * block), (mid * block)..(hi * block))
+        };
+        csend(rank, comm, peer, tag, &acc[send_range]);
+        let other: Vec<T> = crecv(rank, comm, peer, tag);
+        let keep = keep_range.clone();
+        combine(&mut acc[keep], &other, &op);
+        if me & mask == 0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        mask >>= 1;
+    }
+    debug_assert_eq!(hi - lo, 1);
+    debug_assert_eq!(lo, me);
+    acc[lo * block..hi * block].to_vec()
+}
+
+/// Inclusive scan (`MPI_Scan`): rank `r` receives
+/// `op(data₀, …, data_r)` element-wise.  Linear chain algorithm.
+pub fn scan_inclusive<T: Scalar>(
+    rank: &Rank,
+    comm: &Comm,
+    data: &[T],
+    op: impl Fn(T, T) -> T,
+) -> Vec<T> {
+    let tag = rank.next_coll_tag(comm);
+    let n = comm.size();
+    let me = comm.rank();
+    let mut acc = data.to_vec();
+    if me > 0 {
+        let prefix: Vec<T> = crecv(rank, comm, me - 1, tag);
+        // acc = op(prefix, mine): fold the predecessor's prefix in front.
+        let mut merged = prefix;
+        combine(&mut merged, &acc, &op);
+        acc = merged;
+    }
+    if me + 1 < n {
+        csend(rank, comm, me + 1, tag, &acc);
+    }
+    acc
+}
+
+/// Recursive-doubling allgather for power-of-two sizes (⌈log₂ n⌉ rounds of
+/// doubling exchanges); falls back to the ring otherwise.
+pub fn allgather_recursive_doubling<T: Scalar>(rank: &Rank, comm: &Comm, data: &[T]) -> Vec<T> {
+    let n = comm.size();
+    if !n.is_power_of_two() {
+        return super::allgather_ring(rank, comm, data);
+    }
+    let tag = rank.next_coll_tag(comm);
+    let me = comm.rank();
+    let block = data.len();
+    // Working buffer holds a contiguous run of blocks; track which.
+    let mut have_lo = me;
+    let mut buf = data.to_vec();
+    let mut mask = 1;
+    while mask < n {
+        let peer = me ^ mask;
+        csend(rank, comm, peer, tag, &buf);
+        let other: Vec<T> = crecv(rank, comm, peer, tag);
+        // The peer's run is adjacent: below us if its group bit is 0.
+        if peer & mask != 0 || peer > me {
+            buf.extend(other);
+        } else {
+            have_lo -= mask;
+            let mut merged = other;
+            merged.extend(buf);
+            buf = merged;
+        }
+        mask <<= 1;
+    }
+    debug_assert_eq!(have_lo, 0);
+    debug_assert_eq!(buf.len(), n * block);
+    buf
+}
+
+/// Segmented (pipelined) binary-tree broadcast: the buffer is cut into
+/// `ceil(len / seg_items)` segments, each forwarded down the same binary
+/// tree; interior ranks forward segment `s` while segment `s+1` is still in
+/// flight, so the tree pipelines.  Production MPIs use exactly this shape
+/// (chain/binary trees) for large-message broadcasts — a binomial tree
+/// cannot pipeline, because the root's own send serialization already
+/// dominates its makespan.  With `seg_items >= len` this degenerates to the
+/// plain binary-tree broadcast.
+pub fn bcast_binary_segmented<T: Scalar>(
+    rank: &Rank,
+    comm: &Comm,
+    root: usize,
+    data: &mut Vec<T>,
+    seg_items: usize,
+) -> usize {
+    assert!(seg_items > 0, "segment size must be positive");
+    let tag = rank.next_coll_tag(comm);
+    let n = comm.size();
+    if n == 1 {
+        return 0;
+    }
+    let me = comm.rank();
+    let vrank = vrank_of(me, root, n);
+    // Parent/children in the binary tree (children 2v+1, 2v+2).
+    let parent = (vrank != 0).then(|| world_of_vrank((vrank - 1) / 2, root, n));
+    let children: Vec<usize> = [2 * vrank + 1, 2 * vrank + 2]
+        .into_iter()
+        .filter(|&c| c < n)
+        .map(|c| world_of_vrank(c, root, n))
+        .collect();
+    // The root knows the segment count; everyone else learns it from the
+    // first header segment (we prepend a 1-item length header to segment 0
+    // conceptually — here the segment stream is self-terminating: the
+    // sender sends `nsegs` as a tiny first message).
+    let nsegs = if me == root {
+        let nsegs = data.len().div_ceil(seg_items).max(1);
+        for &c in &children {
+            csend(rank, comm, c, tag, &[nsegs as u64]);
+        }
+        nsegs
+    } else {
+        let hdr: Vec<u64> = crecv(rank, comm, parent.expect("non-root has a parent"), tag);
+        for &c in &children {
+            csend(rank, comm, c, tag, &hdr);
+        }
+        hdr[0] as usize
+    };
+    if me != root {
+        data.clear();
+    }
+    for s in 0..nsegs {
+        if me == root {
+            let seg = &data[s * seg_items..((s + 1) * seg_items).min(data.len())];
+            for &c in &children {
+                csend(rank, comm, c, tag, seg);
+            }
+        } else {
+            let seg: Vec<T> = crecv(rank, comm, parent.expect("non-root has a parent"), tag);
+            for &c in &children {
+                csend(rank, comm, c, tag, &seg);
+            }
+            data.extend(seg);
+        }
+    }
+    nsegs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mim_topology::{Machine, Placement};
+
+    use crate::runtime::{Universe, UniverseConfig};
+
+    fn universe(n: usize) -> Universe {
+        Universe::new(UniverseConfig::new(Machine::cluster(4, 2, 4), Placement::packed(n)))
+    }
+
+    const SIZES: &[usize] = &[1, 2, 3, 4, 6, 8, 12, 16];
+
+    #[test]
+    fn reduce_scatter_sums_blocks() {
+        for &n in SIZES {
+            let u = universe(n);
+            u.launch(|rank| {
+                let world = rank.comm_world();
+                let me = world.rank() as u64;
+                // data[j*2..j*2+2] is my contribution to rank j's block.
+                let data: Vec<u64> =
+                    (0..n).flat_map(|j| [me + j as u64, 2 * me + j as u64]).collect();
+                let out = reduce_scatter_block(rank, &world, &data, |a, b| a + b);
+                let ranks_sum: u64 = (0..n as u64).sum();
+                let j = world.rank() as u64;
+                assert_eq!(
+                    out,
+                    vec![ranks_sum + n as u64 * j, 2 * ranks_sum + n as u64 * j],
+                    "n={n}"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn scan_computes_prefixes() {
+        for &n in SIZES {
+            let u = universe(n);
+            u.launch(|rank| {
+                let world = rank.comm_world();
+                let me = world.rank() as i64;
+                let out = scan_inclusive(rank, &world, &[me, 1], |a, b| a + b);
+                let prefix: i64 = (0..=me).sum();
+                assert_eq!(out, vec![prefix, me + 1], "n={n}");
+            });
+        }
+    }
+
+    #[test]
+    fn rd_allgather_matches_ring() {
+        for &n in SIZES {
+            let u = universe(n);
+            u.launch(|rank| {
+                let world = rank.comm_world();
+                let me = world.rank() as u32;
+                let out = allgather_recursive_doubling(rank, &world, &[me, 10 * me]);
+                let expect: Vec<u32> = (0..n as u32).flat_map(|r| [r, 10 * r]).collect();
+                assert_eq!(out, expect, "n={n}");
+            });
+        }
+    }
+
+    #[test]
+    fn segmented_bcast_delivers_and_segments() {
+        for &n in SIZES {
+            for seg in [1usize, 3, 7, 100] {
+                let u = universe(n);
+                u.launch(move |rank| {
+                    let world = rank.comm_world();
+                    let payload: Vec<i32> = (0..17).collect();
+                    let mut data = if world.rank() == 0 { payload.clone() } else { vec![] };
+                    let nsegs = bcast_binary_segmented(rank, &world, 0, &mut data, seg);
+                    assert_eq!(data, payload, "n={n} seg={seg}");
+                    if n > 1 {
+                        assert_eq!(nsegs, 17usize.div_ceil(seg), "n={n} seg={seg}");
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_bcast_pipelines_in_virtual_time() {
+        // Deep tree path over slow cross-node links: with segments, interior
+        // ranks forward chunk s while chunk s+1 is in flight, so the last
+        // rank finishes earlier than with one huge message.  (Segmenting
+        // only pays when the transfer time dwarfs per-message overheads —
+        // exactly the regime of the paper's 800 MB Fig 5 buffers.)
+        let n = 16;
+        let items = 1 << 20; // 4 MiB of i32
+        let time_with_seg = |seg: usize| {
+            let machine = Machine::cluster(2, 1, 8);
+            let tree = machine.tree.clone();
+            let placement = Placement::cyclic_by_level(&tree, n, machine.node_level);
+            let u = Universe::new(UniverseConfig::new(machine, placement));
+            let times = u.launch(move |rank| {
+                let world = rank.comm_world();
+                let mut data = if world.rank() == 0 { vec![1i32; items] } else { vec![] };
+                bcast_binary_segmented(rank, &world, 0, &mut data, seg);
+                rank.now_ns()
+            });
+            times.into_iter().fold(0.0f64, f64::max)
+        };
+        let chunked = time_with_seg(items / 8);
+        let whole = time_with_seg(items + 1);
+        assert!(
+            chunked < whole,
+            "pipelining should help: chunked {chunked} vs whole {whole}"
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_reduce_scatter_falls_back() {
+        let u = universe(6);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let data = vec![1.0f64; 6];
+            let out = reduce_scatter_block(rank, &world, &data, |a, b| a + b);
+            assert_eq!(out, vec![6.0]);
+        });
+    }
+}

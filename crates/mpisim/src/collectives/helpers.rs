@@ -1,0 +1,112 @@
+//! Shared helpers for tree-structured collectives.
+
+/// Virtual rank relative to the root: the root gets vrank 0.
+pub fn vrank_of(rank: usize, root: usize, n: usize) -> usize {
+    (rank + n - root) % n
+}
+
+/// Inverse of [`vrank_of`].
+pub fn world_of_vrank(vrank: usize, root: usize, n: usize) -> usize {
+    (vrank + root) % n
+}
+
+/// Element-wise in-place combine: `acc[i] = op(acc[i], other[i])`.
+///
+/// # Panics
+/// Panics when the slices differ in length (mismatched reduce contributions).
+pub fn combine<T: Copy>(acc: &mut [T], other: &[T], op: impl Fn(T, T) -> T) {
+    assert_eq!(acc.len(), other.len(), "reduce contributions differ in length");
+    for (a, &b) in acc.iter_mut().zip(other) {
+        *a = op(*a, b);
+    }
+}
+
+/// Children and parent of a rank in a binomial tree rooted at vrank 0:
+/// returns `(parent, children)` in *virtual* ranks.  Used by the schedule
+/// generator so the synthetic pattern matches the live algorithm exactly.
+pub fn binomial_peers(vrank: usize, n: usize) -> (Option<usize>, Vec<usize>) {
+    let mut parent = None;
+    let mut mask = 1;
+    while mask < n {
+        if vrank & mask != 0 {
+            parent = Some(vrank - mask);
+            break;
+        }
+        mask <<= 1;
+    }
+    let mut children = Vec::new();
+    let top = if parent.is_some() { mask >> 1 } else { prev_pow2_at_least(n) };
+    let mut m = top;
+    while m > 0 {
+        if vrank + m < n && vrank & m == 0 {
+            children.push(vrank + m);
+        }
+        m >>= 1;
+    }
+    (parent, children)
+}
+
+fn prev_pow2_at_least(n: usize) -> usize {
+    // Highest power of two < n... or the mask value the broadcast loop ends
+    // with: smallest power of two >= n, halved.
+    let mut mask = 1;
+    while mask < n {
+        mask <<= 1;
+    }
+    mask >> 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vrank_roundtrip() {
+        for n in [1, 2, 5, 8] {
+            for root in 0..n {
+                for r in 0..n {
+                    assert_eq!(world_of_vrank(vrank_of(r, root, n), root, n), r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combine_applies_elementwise() {
+        let mut a = vec![1, 2, 3];
+        combine(&mut a, &[10, 20, 30], |x, y| x + y);
+        assert_eq!(a, vec![11, 22, 33]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn combine_rejects_mismatch() {
+        let mut a = vec![1];
+        combine(&mut a, &[1, 2], |x, _| x);
+    }
+
+    #[test]
+    fn binomial_tree_is_consistent() {
+        // Every non-root has exactly one parent, and parent/child lists agree.
+        for n in [1usize, 2, 3, 4, 6, 7, 8, 13, 16] {
+            let mut seen_as_child = vec![0usize; n];
+            for v in 0..n {
+                let (parent, children) = binomial_peers(v, n);
+                if v == 0 {
+                    assert!(parent.is_none());
+                } else {
+                    let p = parent.expect("non-root must have a parent");
+                    let (_, pc) = binomial_peers(p, n);
+                    assert!(pc.contains(&v), "parent {p} of {v} must list it (n={n})");
+                }
+                for &c in &children {
+                    seen_as_child[c] += 1;
+                    let (cp, _) = binomial_peers(c, n);
+                    assert_eq!(cp, Some(v));
+                }
+            }
+            assert_eq!(seen_as_child[0], 0);
+            assert!(seen_as_child[1..].iter().all(|&c| c == 1), "n={n}: {seen_as_child:?}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Correctness tests for collectives against sequential references,
+//! over power-of-two and awkward rank counts.
+
+use mim_topology::{Machine, Placement};
+
+use crate::runtime::{Universe, UniverseConfig};
+
+use super::*;
+
+fn universe(n: usize) -> Universe {
+    let machine = Machine::cluster(4, 2, 4); // 32 cores
+    assert!(n <= 32);
+    Universe::new(UniverseConfig::new(machine, Placement::packed(n)))
+}
+
+const SIZES: &[usize] = &[1, 2, 3, 4, 5, 7, 8, 12, 16];
+
+#[test]
+fn bcast_binomial_delivers_everywhere() {
+    for &n in SIZES {
+        for root in [0, n / 2, n - 1] {
+            let u = universe(n);
+            u.launch(|rank| {
+                let world = rank.comm_world();
+                let mut data = if world.rank() == root {
+                    vec![42i64, 43, 44]
+                } else {
+                    Vec::new()
+                };
+                bcast_binomial(rank, &world, root, &mut data);
+                assert_eq!(data, vec![42, 43, 44], "n={n} root={root}");
+            });
+        }
+    }
+}
+
+#[test]
+fn bcast_binary_delivers_everywhere() {
+    for &n in SIZES {
+        for root in [0, n - 1] {
+            let u = universe(n);
+            u.launch(|rank| {
+                let world = rank.comm_world();
+                let mut data =
+                    if world.rank() == root { vec![7u32; 10] } else { Vec::new() };
+                bcast_binary(rank, &world, root, &mut data);
+                assert_eq!(data, vec![7u32; 10], "n={n} root={root}");
+            });
+        }
+    }
+}
+
+#[test]
+fn reduce_binomial_sums() {
+    for &n in SIZES {
+        for root in [0, n - 1] {
+            let u = universe(n);
+            u.launch(|rank| {
+                let world = rank.comm_world();
+                let me = world.rank() as i64;
+                let data = vec![me, 2 * me];
+                let out = reduce_binomial(rank, &world, root, &data, |a, b| a + b);
+                if world.rank() == root {
+                    let s: i64 = (0..n as i64).sum();
+                    assert_eq!(out, Some(vec![s, 2 * s]), "n={n} root={root}");
+                } else {
+                    assert!(out.is_none());
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn reduce_binary_max() {
+    for &n in SIZES {
+        let u = universe(n);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let me = world.rank() as f64;
+            let data = vec![me, -me];
+            let out = reduce_binary(rank, &world, 0, &data, f64::max);
+            if world.rank() == 0 {
+                assert_eq!(out, Some(vec![(n - 1) as f64, 0.0]), "n={n}");
+            }
+        });
+    }
+}
+
+#[test]
+fn allreduce_sums_any_n() {
+    for &n in SIZES {
+        let u = universe(n);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let me = world.rank() as u64;
+            let out = allreduce_recursive_doubling(rank, &world, &[me, 1], |a, b| a + b);
+            let s: u64 = (0..n as u64).sum();
+            assert_eq!(out, vec![s, n as u64], "n={n}");
+        });
+    }
+}
+
+#[test]
+fn allreduce_min() {
+    let u = universe(7);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let me = world.rank() as i32;
+        let out = allreduce_recursive_doubling(rank, &world, &[me + 10], i32::min);
+        assert_eq!(out, vec![10]);
+    });
+}
+
+#[test]
+fn gather_concatenates_in_rank_order() {
+    for &n in SIZES {
+        let root = n / 2;
+        let u = universe(n);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let me = world.rank() as u16;
+            let out = gather_linear(rank, &world, root, &[me, me]);
+            if world.rank() == root {
+                let expect: Vec<u16> =
+                    (0..n as u16).flat_map(|r| [r, r]).collect();
+                assert_eq!(out, Some(expect), "n={n}");
+            } else {
+                assert!(out.is_none());
+            }
+        });
+    }
+}
+
+#[test]
+fn scatter_distributes_chunks() {
+    for &n in SIZES {
+        let u = universe(n);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let root = 0;
+            let data: Option<Vec<i32>> = (world.rank() == root)
+                .then(|| (0..(3 * n) as i32).collect());
+            let mine = scatter_linear(rank, &world, root, data.as_deref());
+            let me = world.rank() as i32;
+            assert_eq!(mine, vec![3 * me, 3 * me + 1, 3 * me + 2], "n={n}");
+        });
+    }
+}
+
+#[test]
+fn allgather_ring_orders_blocks() {
+    for &n in SIZES {
+        let u = universe(n);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let me = world.rank() as u64;
+            let out = allgather_ring(rank, &world, &[me * 10, me * 10 + 1]);
+            let expect: Vec<u64> =
+                (0..n as u64).flat_map(|r| [r * 10, r * 10 + 1]).collect();
+            assert_eq!(out, expect, "n={n}");
+        });
+    }
+}
+
+#[test]
+fn alltoall_transposes() {
+    for &n in SIZES {
+        let u = universe(n);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let me = world.rank();
+            // data[j] = value I hold for rank j.
+            let data: Vec<u32> = (0..n).map(|j| (me * 100 + j) as u32).collect();
+            let out = alltoall_pairwise(rank, &world, &data);
+            // out[j] = value rank j held for me.
+            let expect: Vec<u32> = (0..n).map(|j| (j * 100 + me) as u32).collect();
+            assert_eq!(out, expect, "n={n}");
+        });
+    }
+}
+
+#[test]
+fn barrier_synchronizes_virtual_time() {
+    let u = universe(8);
+    let times = u.launch(|rank| {
+        let world = rank.comm_world();
+        // Rank 3 is late.
+        if rank.world_rank() == 3 {
+            rank.compute_ns(1e6);
+        }
+        barrier(rank, &world);
+        rank.now_ns()
+    });
+    // After the barrier, everyone's clock is past the late rank's start.
+    for (r, &t) in times.iter().enumerate() {
+        assert!(t >= 1e6, "rank {r} finished the barrier at {t} < 1e6");
+    }
+}
+
+#[test]
+fn collectives_work_on_subcommunicators() {
+    let u = universe(8);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let me = world.rank();
+        let sub = rank.comm_split(&world, (me % 2) as i64, me as i64);
+        let out = allreduce_recursive_doubling(rank, &sub, &[1u64], |a, b| a + b);
+        assert_eq!(out, vec![4]);
+        // Mixed traffic: collective on world while subs are alive.
+        let mut v = if me == 0 { vec![5u8] } else { Vec::new() };
+        bcast_binomial(rank, &world, 0, &mut v);
+        assert_eq!(v, vec![5]);
+    });
+}
+
+#[test]
+fn back_to_back_collectives_do_not_cross_match() {
+    // Two bcasts in a row with different payloads: the sequence tag must
+    // keep them apart even though sends are eager.
+    let u = universe(5);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let mut a = if world.rank() == 0 { vec![1u8] } else { Vec::new() };
+        let mut b = if world.rank() == 0 { vec![2u8] } else { Vec::new() };
+        bcast_binomial(rank, &world, 0, &mut a);
+        bcast_binomial(rank, &world, 0, &mut b);
+        assert_eq!((a, b), (vec![1u8], vec![2u8]));
+    });
+}

@@ -1,0 +1,189 @@
+//! Variable-count collectives (`MPI_Gatherv` / `MPI_Scatterv` /
+//! `MPI_Allgatherv`): ranks contribute or receive blocks of different sizes.
+//!
+//! Message sizes carry their own length in this runtime, so no explicit
+//! count arrays are needed on the receive side — the API stays idiomatic
+//! while the wire traffic matches the MPI originals.
+
+use super::{crecv, csend};
+use crate::comm::Comm;
+use crate::datatype::Scalar;
+use crate::runtime::Rank;
+
+/// Gather variable-size contributions at `root`, concatenated in rank
+/// order; `Some(data, displacements)` at the root (displacements index the
+/// start of each rank's block), `None` elsewhere.
+pub fn gatherv<T: Scalar>(
+    rank: &Rank,
+    comm: &Comm,
+    root: usize,
+    data: &[T],
+) -> Option<(Vec<T>, Vec<usize>)> {
+    let tag = rank.next_coll_tag(comm);
+    let n = comm.size();
+    let me = comm.rank();
+    if me != root {
+        csend(rank, comm, root, tag, data);
+        return None;
+    }
+    let mut out = Vec::new();
+    let mut displs = Vec::with_capacity(n);
+    for r in 0..n {
+        displs.push(out.len());
+        if r == root {
+            out.extend_from_slice(data);
+        } else {
+            out.extend(crecv::<T>(rank, comm, r, tag));
+        }
+    }
+    Some((out, displs))
+}
+
+/// Scatter variable-size chunks from `root`: the root provides one slice
+/// per rank, everyone receives theirs.
+///
+/// # Panics
+/// Panics when the root's chunk list does not match the communicator size.
+pub fn scatterv<T: Scalar>(
+    rank: &Rank,
+    comm: &Comm,
+    root: usize,
+    chunks: Option<&[&[T]]>,
+) -> Vec<T> {
+    let tag = rank.next_coll_tag(comm);
+    let n = comm.size();
+    let me = comm.rank();
+    if me == root {
+        let chunks = chunks.expect("scatterv root must provide chunks");
+        assert_eq!(chunks.len(), n, "one chunk per rank required");
+        for (r, chunk) in chunks.iter().enumerate() {
+            if r != root {
+                csend(rank, comm, r, tag, chunk);
+            }
+        }
+        chunks[root].to_vec()
+    } else {
+        crecv(rank, comm, root, tag)
+    }
+}
+
+/// Allgather of variable-size contributions: everyone receives the
+/// rank-ordered concatenation and the per-rank displacements.
+/// Ring algorithm, like the equal-count variant.
+pub fn allgatherv<T: Scalar>(rank: &Rank, comm: &Comm, data: &[T]) -> (Vec<T>, Vec<usize>) {
+    let tag = rank.next_coll_tag(comm);
+    let n = comm.size();
+    let me = comm.rank();
+    let mut blocks: Vec<Option<Vec<T>>> = vec![None; n];
+    blocks[me] = Some(data.to_vec());
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    for step in 0..n.saturating_sub(1) {
+        let send_idx = (me + n - step) % n;
+        let recv_idx = (me + n - step - 1) % n;
+        let to_send = blocks[send_idx].as_ref().expect("ring block not yet received");
+        csend(rank, comm, right, tag, to_send);
+        blocks[recv_idx] = Some(crecv(rank, comm, left, tag));
+    }
+    let mut out = Vec::new();
+    let mut displs = Vec::with_capacity(n);
+    for b in blocks {
+        displs.push(out.len());
+        out.extend(b.expect("missing allgatherv block"));
+    }
+    (out, displs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mim_topology::{Machine, Placement};
+
+    use crate::runtime::{Universe, UniverseConfig};
+
+    fn universe(n: usize) -> Universe {
+        Universe::new(UniverseConfig::new(Machine::cluster(2, 2, 4), Placement::packed(n)))
+    }
+
+    /// Rank r contributes r+1 values of value r.
+    fn contribution(r: usize) -> Vec<u32> {
+        vec![r as u32; r + 1]
+    }
+
+    fn expected_concat(n: usize) -> (Vec<u32>, Vec<usize>) {
+        let mut out = Vec::new();
+        let mut displs = Vec::new();
+        for r in 0..n {
+            displs.push(out.len());
+            out.extend(contribution(r));
+        }
+        (out, displs)
+    }
+
+    #[test]
+    fn gatherv_concatenates_unequal_blocks() {
+        for n in [1usize, 2, 5, 8, 11] {
+            let root = n / 2;
+            let u = universe(n);
+            u.launch(move |rank| {
+                let world = rank.comm_world();
+                let mine = contribution(world.rank());
+                let out = gatherv(rank, &world, root, &mine);
+                if world.rank() == root {
+                    let (data, displs) = out.expect("root receives");
+                    let (edata, edispls) = expected_concat(n);
+                    assert_eq!(data, edata, "n={n}");
+                    assert_eq!(displs, edispls);
+                } else {
+                    assert!(out.is_none());
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn scatterv_distributes_unequal_chunks() {
+        for n in [1usize, 3, 6, 9] {
+            let u = universe(n);
+            u.launch(move |rank| {
+                let world = rank.comm_world();
+                let storage: Vec<Vec<u32>> = (0..n).map(contribution).collect();
+                let chunks: Vec<&[u32]> = storage.iter().map(Vec::as_slice).collect();
+                let mine = scatterv(
+                    rank,
+                    &world,
+                    0,
+                    (world.rank() == 0).then_some(chunks.as_slice()),
+                );
+                assert_eq!(mine, contribution(world.rank()), "n={n}");
+            });
+        }
+    }
+
+    #[test]
+    fn allgatherv_everyone_gets_everything() {
+        for n in [1usize, 2, 4, 7, 10] {
+            let u = universe(n);
+            u.launch(move |rank| {
+                let world = rank.comm_world();
+                let mine = contribution(world.rank());
+                let (data, displs) = allgatherv(rank, &world, &mine);
+                let (edata, edispls) = expected_concat(n);
+                assert_eq!(data, edata, "n={n}");
+                assert_eq!(displs, edispls);
+            });
+        }
+    }
+
+    #[test]
+    fn empty_contributions_are_fine() {
+        let u = universe(4);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let mine: Vec<u64> = if world.rank() == 2 { vec![7, 8] } else { vec![] };
+            let (data, displs) = allgatherv(rank, &world, &mine);
+            assert_eq!(data, vec![7, 8]);
+            assert_eq!(displs, vec![0, 0, 0, 2]);
+        });
+    }
+}

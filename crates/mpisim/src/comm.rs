@@ -1,0 +1,94 @@
+//! Communicators: ordered groups of world ranks with a private matching id.
+
+use std::sync::Arc;
+
+/// A communicator handle.
+///
+/// Cheap to clone (the group is shared).  Each communicator owns a globally
+/// unique id used for message matching, so traffic on different communicators
+/// never mixes, and three matching contexts (point-to-point / collective /
+/// one-sided) within the id, like MPI context ids.
+#[derive(Debug, Clone)]
+pub struct Comm {
+    id: u64,
+    /// `group[r]` = world rank of communicator rank `r`.
+    group: Arc<Vec<usize>>,
+    /// This process's rank inside the communicator.
+    my_rank: usize,
+}
+
+impl Comm {
+    pub(crate) fn new(id: u64, group: Arc<Vec<usize>>, my_rank: usize) -> Self {
+        debug_assert!(my_rank < group.len());
+        Self { id, group, my_rank }
+    }
+
+    /// Build a communicator from raw parts, outside the runtime.
+    ///
+    /// Only meant for tests of code that stores communicators; a communicator
+    /// made this way cannot carry messages (its id is not registered).
+    #[doc(hidden)]
+    pub fn from_raw(id: u64, group: Arc<Vec<usize>>, my_rank: usize) -> Self {
+        Self::new(id, group, my_rank)
+    }
+
+    /// Unique communicator id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// This process's rank in the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// World rank of communicator rank `r`.
+    ///
+    /// # Panics
+    /// Panics when `r` is out of range.
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        self.group[r]
+    }
+
+    /// Communicator rank of a world rank, if it is a member.
+    pub fn rank_of_world(&self, world: usize) -> Option<usize> {
+        self.group.iter().position(|&w| w == world)
+    }
+
+    /// The ordered member list (communicator rank → world rank).
+    pub fn group(&self) -> &[usize] {
+        &self.group
+    }
+
+    /// True when the given world rank belongs to this communicator.
+    pub fn contains_world(&self, world: usize) -> bool {
+        self.group.contains(&world)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comm() -> Comm {
+        Comm::new(3, Arc::new(vec![4, 2, 7]), 1)
+    }
+
+    #[test]
+    fn rank_translation() {
+        let c = comm();
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.rank(), 1);
+        assert_eq!(c.world_rank_of(0), 4);
+        assert_eq!(c.world_rank_of(2), 7);
+        assert_eq!(c.rank_of_world(7), Some(2));
+        assert_eq!(c.rank_of_world(5), None);
+        assert!(c.contains_world(2));
+        assert!(!c.contains_world(0));
+    }
+}

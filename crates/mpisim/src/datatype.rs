@@ -1,0 +1,89 @@
+//! Scalar datatypes that can travel over the wire.
+
+/// A fixed-size scalar that can be serialized to/from little-endian bytes.
+///
+/// This plays the role of MPI's basic datatypes.  Conversions copy; the
+/// simulator favours obvious correctness over zero-copy tricks since data
+/// movement is not what we measure (time is virtual).
+pub trait Scalar: Copy + Send + 'static {
+    /// Size of one element in bytes.
+    const SIZE: usize;
+
+    /// Serialize a slice into little-endian bytes.
+    fn to_bytes(slice: &[Self]) -> Vec<u8>;
+
+    /// Deserialize little-endian bytes into a vector.
+    ///
+    /// # Panics
+    /// Panics when `bytes.len()` is not a multiple of [`Scalar::SIZE`].
+    fn from_bytes(bytes: &[u8]) -> Vec<Self>;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+
+            fn to_bytes(slice: &[Self]) -> Vec<u8> {
+                let mut out = Vec::with_capacity(slice.len() * Self::SIZE);
+                for v in slice {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out
+            }
+
+            fn from_bytes(bytes: &[u8]) -> Vec<Self> {
+                #[allow(clippy::modulo_one)] // SIZE is 1 for byte-wide types
+                let aligned = bytes.len() % Self::SIZE == 0;
+                assert!(
+                    aligned,
+                    "byte length {} not a multiple of element size {}",
+                    bytes.len(),
+                    Self::SIZE
+                );
+                bytes
+                    .chunks_exact(Self::SIZE)
+                    .map(|c| <$t>::from_le_bytes(c.try_into().unwrap()))
+                    .collect()
+            }
+        }
+    )*};
+}
+
+impl_scalar!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ints() {
+        let v: Vec<i32> = vec![-1, 0, 7, i32::MAX, i32::MIN];
+        assert_eq!(i32::from_bytes(&i32::to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn roundtrip_floats() {
+        let v: Vec<f64> = vec![0.0, -1.5, f64::MAX, 1e-300];
+        assert_eq!(f64::from_bytes(&f64::to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(<u8 as Scalar>::SIZE, 1);
+        assert_eq!(<i32 as Scalar>::SIZE, 4);
+        assert_eq!(<f64 as Scalar>::SIZE, 8);
+    }
+
+    #[test]
+    fn empty_slice() {
+        let v: Vec<u64> = vec![];
+        assert_eq!(u64::from_bytes(&u64::to_bytes(&v)), v);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_length_panics() {
+        i32::from_bytes(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,50 @@
+//! `mim-mpisim` — a virtual-time MPI-like message-passing runtime.
+//!
+//! Every rank of a simulated job is an OS thread.  Ranks exchange messages
+//! through per-rank mailboxes with MPI matching semantics (communicator,
+//! source, tag, wildcards, non-overtaking per channel).  Time is *virtual*:
+//! each rank carries its own clock; a send occupies the sender's link for
+//! `β·bytes` (back-to-back sends serialize on one NIC, like real hardware)
+//! and the message arrives `α` later, where `(α, β)` depend on the
+//! topological distance between the cores hosting the two processes (see
+//! `mim_topology`).  A receive advances the receiver clock to
+//! `max(local, arrival)` — the classic conservative-timestamping scheme used
+//! by SMPI-style simulators.
+//!
+//! Collectives ([`collectives`]) are implemented **on top of point-to-point
+//! messages** (binomial broadcast, binary/binomial tree reduce,
+//! recursive-doubling allreduce/barrier, ring allgather, …).  All wire
+//! traffic — including the point-to-point decomposition of collectives and
+//! one-sided operations — funnels through a single interposition point, the
+//! [`pml`] layer, which mirrors the position of Open MPI's `pml_monitoring`
+//! MCA component: below the collective engine, above the wire.  Monitoring
+//! libraries (`mim-core`) and the simulated NIC hardware counters ([`nic`])
+//! subscribe there.
+//!
+//! Messages can carry real data or a *synthetic* size-only payload
+//! ([`envelope::Payload::Synthetic`]); both traverse the same hooks and the
+//! same cost model, which lets benchmarks replay paper-scale buffers
+//! (2·10⁸ ints) without allocating them.
+
+pub mod clock;
+pub mod collectives;
+pub mod comm;
+pub mod datatype;
+pub mod envelope;
+pub mod mailbox;
+pub mod nic;
+pub mod nonblocking;
+pub mod osc;
+pub mod pml;
+pub mod runtime;
+pub mod schedule;
+
+pub use comm::Comm;
+pub use datatype::Scalar;
+pub use envelope::{MsgKind, Payload};
+pub use nic::{NicCounters, NicEvent};
+pub use nonblocking::{waitall_recv, RecvRequest, SendRequest};
+pub use osc::Window;
+pub use pml::{LocalPmlHook, PmlEvent, PmlHook};
+pub use runtime::{Rank, SrcSel, Status, TagSel, Universe, UniverseConfig};
+pub use schedule::{Schedule, Step};

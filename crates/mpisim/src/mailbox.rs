@@ -1,0 +1,209 @@
+//! Per-rank mailbox with MPI matching semantics.
+
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+
+use crate::envelope::{Ctx, Envelope};
+
+/// Source selector for a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcSel {
+    /// Match any sender (`MPI_ANY_SOURCE`).
+    Any,
+    /// Match a specific *world* rank (translation from communicator rank is
+    /// done by the caller, which owns the communicator).
+    World(usize),
+}
+
+/// Tag selector for a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match any tag (`MPI_ANY_TAG`).
+    Any,
+    /// Match a specific tag.
+    Is(u32),
+}
+
+/// A receive pattern: communicator, context, source and tag.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchPattern {
+    pub comm_id: u64,
+    pub ctx: Ctx,
+    pub src: SrcSel,
+    pub tag: TagSel,
+}
+
+impl MatchPattern {
+    fn matches(&self, env: &Envelope) -> bool {
+        if env.comm_id != self.comm_id || env.ctx != self.ctx {
+            return false;
+        }
+        if let SrcSel::World(w) = self.src {
+            if env.src_world != w {
+                return false;
+            }
+        }
+        if let TagSel::Is(t) = self.tag {
+            if env.tag != t {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A rank's incoming-message endpoint: the channel receiver plus the
+/// *unexpected message queue* holding arrived-but-unmatched envelopes, kept
+/// in arrival order so matching picks the earliest eligible message —
+/// MPI's non-overtaking rule.
+pub struct Mailbox {
+    rx: Receiver<Envelope>,
+    unexpected: Vec<Envelope>,
+    /// Wall-clock deadline for one blocking receive; hitting it means the
+    /// simulated application deadlocked, so we panic with a diagnostic
+    /// instead of hanging the test suite.
+    deadline: Duration,
+}
+
+impl Mailbox {
+    /// Wrap a channel receiver. `deadline` bounds any single blocking receive.
+    pub fn new(rx: Receiver<Envelope>, deadline: Duration) -> Self {
+        Self { rx, unexpected: Vec::new(), deadline }
+    }
+
+    /// Blocking receive of the earliest message matching `pat`.
+    ///
+    /// # Panics
+    /// Panics if no matching message arrives within the wall-clock deadline
+    /// (deadlock detector) or if all senders disconnected.
+    pub fn recv_match(&mut self, pat: &MatchPattern) -> Envelope {
+        if let Some(pos) = self.unexpected.iter().position(|e| pat.matches(e)) {
+            return self.unexpected.remove(pos);
+        }
+        loop {
+            match self.rx.recv_timeout(self.deadline) {
+                Ok(env) => {
+                    if pat.matches(&env) {
+                        return env;
+                    }
+                    self.unexpected.push(env);
+                }
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "deadlock: no message matching {pat:?} within {:?} \
+                     ({} unexpected messages queued)",
+                    self.deadline,
+                    self.unexpected.len()
+                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("all senders disconnected while waiting for {pat:?}")
+                }
+            }
+        }
+    }
+
+    /// Non-blocking probe: is a matching message already available?
+    /// Drains the channel into the unexpected queue first.
+    pub fn iprobe(&mut self, pat: &MatchPattern) -> bool {
+        while let Ok(env) = self.rx.try_recv() {
+            self.unexpected.push(env);
+        }
+        self.unexpected.iter().any(|e| pat.matches(e))
+    }
+
+    /// Number of queued unexpected messages (diagnostic).
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{MsgKind, Payload};
+    use crossbeam::channel::unbounded;
+
+    fn env(src: usize, comm: u64, ctx: Ctx, tag: u32) -> Envelope {
+        Envelope {
+            src_world: src,
+            dst_world: 9,
+            comm_id: comm,
+            ctx,
+            tag,
+            kind: MsgKind::P2pUser,
+            payload: Payload::Synthetic(1),
+            sent_at_ns: 0.0,
+            arrival_ns: 0.0,
+        }
+    }
+
+    fn pat(comm: u64, ctx: Ctx, src: SrcSel, tag: TagSel) -> MatchPattern {
+        MatchPattern { comm_id: comm, ctx, src, tag }
+    }
+
+    #[test]
+    fn exact_match_skips_others() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx, Duration::from_secs(5));
+        tx.send(env(1, 7, Ctx::Pt2pt, 10)).unwrap();
+        tx.send(env(2, 7, Ctx::Pt2pt, 20)).unwrap();
+        let got = mb.recv_match(&pat(7, Ctx::Pt2pt, SrcSel::World(2), TagSel::Is(20)));
+        assert_eq!(got.src_world, 2);
+        assert_eq!(mb.unexpected_len(), 1);
+        // The skipped message is still deliverable.
+        let got = mb.recv_match(&pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any));
+        assert_eq!(got.src_world, 1);
+    }
+
+    #[test]
+    fn wildcard_takes_earliest() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx, Duration::from_secs(5));
+        tx.send(env(3, 7, Ctx::Pt2pt, 1)).unwrap();
+        tx.send(env(4, 7, Ctx::Pt2pt, 1)).unwrap();
+        let got = mb.recv_match(&pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Is(1)));
+        assert_eq!(got.src_world, 3);
+    }
+
+    #[test]
+    fn context_separation() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx, Duration::from_secs(5));
+        tx.send(env(1, 7, Ctx::Coll, 5)).unwrap();
+        tx.send(env(1, 7, Ctx::Pt2pt, 5)).unwrap();
+        let got = mb.recv_match(&pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any));
+        assert_eq!(got.ctx, Ctx::Pt2pt);
+        let got = mb.recv_match(&pat(7, Ctx::Coll, SrcSel::Any, TagSel::Any));
+        assert_eq!(got.ctx, Ctx::Coll);
+    }
+
+    #[test]
+    fn comm_separation() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx, Duration::from_secs(5));
+        tx.send(env(1, 8, Ctx::Pt2pt, 5)).unwrap();
+        tx.send(env(1, 7, Ctx::Pt2pt, 5)).unwrap();
+        let got = mb.recv_match(&pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any));
+        assert_eq!(got.comm_id, 7);
+    }
+
+    #[test]
+    fn iprobe_sees_pending() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx, Duration::from_secs(5));
+        assert!(!mb.iprobe(&pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any)));
+        tx.send(env(1, 7, Ctx::Pt2pt, 5)).unwrap();
+        assert!(mb.iprobe(&pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any)));
+        // iprobe must not consume.
+        let got = mb.recv_match(&pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any));
+        assert_eq!(got.src_world, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadline_panics() {
+        let (_tx, rx) = unbounded::<Envelope>();
+        let mut mb = Mailbox::new(rx, Duration::from_millis(10));
+        mb.recv_match(&pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any));
+    }
+}

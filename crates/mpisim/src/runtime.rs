@@ -1,0 +1,792 @@
+//! The universe (job launcher) and per-rank handles.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use mim_topology::{Machine, Placement};
+
+use crate::clock::VirtualClock;
+use crate::collectives;
+use crate::comm::Comm;
+use crate::datatype::Scalar;
+use crate::envelope::{Ctx, Envelope, MsgKind, Payload};
+use crate::mailbox::{self, Mailbox, MatchPattern};
+use crate::nic::NicCounters;
+use crate::pml::{LocalHookHandle, LocalHooks, LocalPmlHook, PmlEvent, PmlHook};
+
+/// Source selector in *communicator ranks* (the public API counterpart of
+/// `MPI_ANY_SOURCE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcSel {
+    /// Match any member of the communicator.
+    Any,
+    /// Match a specific communicator rank.
+    Rank(usize),
+}
+
+/// Tag selector (`MPI_ANY_TAG`).
+pub use crate::mailbox::TagSel;
+
+/// Completion status of a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Communicator rank of the sender.
+    pub src: usize,
+    /// Message tag.
+    pub tag: u32,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+/// Job configuration.
+#[derive(Debug, Clone)]
+pub struct UniverseConfig {
+    /// The machine to simulate.
+    pub machine: Machine,
+    /// Process → core placement; its length is the number of ranks.
+    pub placement: Placement,
+    /// Virtual per-send overhead paid by the sender (ns).
+    pub send_overhead_ns: f64,
+    /// Virtual per-receive overhead paid by the receiver (ns).
+    pub recv_overhead_ns: f64,
+    /// Per-message protocol header counted by the simulated NIC (bytes).
+    pub nic_header_bytes: u64,
+    /// Wall-clock bound on a single blocking receive (deadlock detector).
+    pub deadline: Duration,
+    /// Stack size of rank threads.
+    pub stack_size: usize,
+}
+
+impl UniverseConfig {
+    /// Standard configuration: one process per core of `machine`, packed
+    /// placement, default overheads.
+    pub fn new(machine: Machine, placement: Placement) -> Self {
+        assert!(
+            placement.len() <= machine.num_cores(),
+            "placement has more processes than the machine has cores"
+        );
+        Self {
+            machine,
+            placement,
+            send_overhead_ns: 100.0,
+            recv_overhead_ns: 50.0,
+            nic_header_bytes: 0,
+            deadline: Duration::from_secs(30),
+            stack_size: 4 << 20,
+        }
+    }
+
+    /// Number of ranks in the job.
+    pub fn nprocs(&self) -> usize {
+        self.placement.len()
+    }
+}
+
+/// Shared buffer of one rank's one-sided window.
+pub(crate) type WindowBuf = Arc<Mutex<Vec<u8>>>;
+
+pub(crate) struct Shared {
+    pub(crate) cfg: UniverseConfig,
+    pub(crate) senders: Vec<Sender<Envelope>>,
+    pub(crate) global_hooks: RwLock<Vec<Arc<dyn PmlHook>>>,
+    next_comm_id: AtomicU64,
+    /// One-sided window registry: (window id, comm rank) → shared buffer.
+    pub(crate) windows: Mutex<HashMap<(u64, usize), WindowBuf>>,
+}
+
+impl Shared {
+    /// Allocate `n` consecutive globally unique communicator/window ids.
+    pub(crate) fn alloc_ids(&self, n: u64) -> u64 {
+        self.next_comm_id.fetch_add(n, Ordering::Relaxed)
+    }
+
+    pub(crate) fn core_of(&self, world: usize) -> usize {
+        self.cfg.placement.core_of(world)
+    }
+
+}
+
+/// A simulated job: configuration, wiring and the simulated NIC.
+///
+/// ```
+/// use mim_mpisim::{Universe, UniverseConfig};
+/// use mim_topology::{Machine, Placement};
+///
+/// let machine = Machine::plafrim(2);
+/// let cfg = UniverseConfig::new(machine, Placement::packed(4));
+/// let universe = Universe::new(cfg);
+/// let sums = universe.launch(|rank| {
+///     let world = rank.comm_world();
+///     let mine = vec![rank.world_rank() as u64];
+///     rank.allreduce(&world, &mine, |a, b| a + b)[0]
+/// });
+/// assert_eq!(sums, vec![6, 6, 6, 6]);
+/// ```
+pub struct Universe {
+    shared: Arc<Shared>,
+    receivers: Mutex<Option<Vec<Receiver<Envelope>>>>,
+    nic: Arc<NicCounters>,
+}
+
+impl Universe {
+    /// Wire a universe for `cfg.nprocs()` ranks.
+    pub fn new(cfg: UniverseConfig) -> Self {
+        let n = cfg.nprocs();
+        assert!(n > 0, "universe needs at least one rank");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let core_to_node =
+            (0..cfg.machine.num_cores()).map(|c| cfg.machine.node_of_core(c)).collect();
+        let nic = Arc::new(NicCounters::new(core_to_node, cfg.nic_header_bytes));
+        let shared = Arc::new(Shared {
+            cfg,
+            senders,
+            global_hooks: RwLock::new(vec![nic.clone() as Arc<dyn PmlHook>]),
+            next_comm_id: AtomicU64::new(1), // id 0 is MPI_COMM_WORLD
+            windows: Mutex::new(HashMap::new()),
+        });
+        Self { shared, receivers: Mutex::new(Some(receivers)), nic }
+    }
+
+    /// The simulated NIC counters (inspect after [`Universe::launch`]).
+    pub fn nic(&self) -> &NicCounters {
+        &self.nic
+    }
+
+    /// Register an additional global PML hook (before launching).
+    pub fn add_global_hook(&self, hook: Arc<dyn PmlHook>) {
+        self.shared.global_hooks.write().push(hook);
+    }
+
+    /// Job configuration.
+    pub fn config(&self) -> &UniverseConfig {
+        &self.shared.cfg
+    }
+
+    /// Run `f` once per rank, each on its own thread, and collect the
+    /// per-rank results in rank order.
+    ///
+    /// # Panics
+    /// Panics if any rank panics (the first panic is propagated), or when
+    /// called a second time on the same universe.
+    pub fn launch<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(&Rank) -> R + Sync,
+        R: Send,
+    {
+        let receivers =
+            self.receivers.lock().take().expect("a universe can only be launched once");
+        let n = receivers.len();
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (world_rank, (rx, slot)) in
+                receivers.into_iter().zip(results.iter_mut()).enumerate()
+            {
+                let shared = Arc::clone(&self.shared);
+                let f = &f;
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank-{world_rank}"))
+                    .stack_size(self.shared.cfg.stack_size)
+                    .spawn_scoped(scope, move || {
+                        let rank = Rank::new(world_rank, shared, rx);
+                        *slot = Some(f(&rank));
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            let mut first_panic = None;
+            for h in handles {
+                if let Err(p) = h.join() {
+                    first_panic.get_or_insert(p);
+                }
+            }
+            if let Some(p) = first_panic {
+                std::panic::resume_unwind(p);
+            }
+        });
+        results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+    }
+}
+
+/// Per-rank handle: the owning thread's view of the job.
+///
+/// All communication goes through methods of this type.  `Rank` is neither
+/// `Send` nor `Sync`: it lives and dies on its rank's thread, like an MPI
+/// process.
+pub struct Rank {
+    world_rank: usize,
+    core: usize,
+    shared: Arc<Shared>,
+    clock: VirtualClock,
+    mailbox: RefCell<Mailbox>,
+    local_hooks: RefCell<LocalHooks>,
+    /// Per-communicator collective sequence numbers: every collective call
+    /// consumes one, which isolates concurrent collectives on one
+    /// communicator from each other (MPI requires same call order on all
+    /// members, which makes the sequence consistent).
+    coll_seq: RefCell<HashMap<u64, u32>>,
+    world_group: Arc<Vec<usize>>,
+}
+
+impl Rank {
+    fn new(world_rank: usize, shared: Arc<Shared>, rx: Receiver<Envelope>) -> Self {
+        let deadline = shared.cfg.deadline;
+        let core = shared.core_of(world_rank);
+        let n = shared.cfg.nprocs();
+        Self {
+            world_rank,
+            core,
+            shared,
+            clock: VirtualClock::new(),
+            mailbox: RefCell::new(Mailbox::new(rx, deadline)),
+            local_hooks: RefCell::new(LocalHooks::default()),
+            coll_seq: RefCell::new(HashMap::new()),
+            world_group: Arc::new((0..n).collect()),
+        }
+    }
+
+    // ----- identity & time --------------------------------------------------
+
+    /// This process's world rank.
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Number of ranks in the job.
+    pub fn world_size(&self) -> usize {
+        self.shared.cfg.nprocs()
+    }
+
+    /// Core hosting this process.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// The machine being simulated.
+    pub fn machine(&self) -> &Machine {
+        &self.shared.cfg.machine
+    }
+
+    /// The process → core placement.
+    pub fn placement(&self) -> &Placement {
+        &self.shared.cfg.placement
+    }
+
+    /// Current virtual time (ns).
+    pub fn now_ns(&self) -> f64 {
+        self.clock.now_ns()
+    }
+
+    /// Current virtual time (s).
+    pub fn now_s(&self) -> f64 {
+        self.clock.now_s()
+    }
+
+    /// Spend `ns` nanoseconds of virtual compute time.
+    pub fn compute_ns(&self, ns: f64) {
+        self.clock.tick(ns);
+    }
+
+    /// Virtual sleep (identical to compute: the clock advances).
+    pub fn sleep_ns(&self, ns: f64) {
+        self.clock.tick(ns);
+    }
+
+    /// `MPI_COMM_WORLD`.
+    pub fn comm_world(&self) -> Comm {
+        Comm::new(0, Arc::clone(&self.world_group), self.world_rank)
+    }
+
+    // ----- PML hooks ---------------------------------------------------------
+
+    /// Register a per-rank PML hook (used by the monitoring library).
+    pub fn add_local_hook(&self, hook: Rc<dyn LocalPmlHook>) -> LocalHookHandle {
+        self.local_hooks.borrow_mut().add(hook)
+    }
+
+    /// Remove a previously registered hook; returns whether it existed.
+    pub fn remove_local_hook(&self, handle: LocalHookHandle) -> bool {
+        self.local_hooks.borrow_mut().remove(handle)
+    }
+
+    // ----- wire primitives ---------------------------------------------------
+
+    pub(crate) fn wire_send(
+        &self,
+        comm: &Comm,
+        dst: usize,
+        tag: u32,
+        ctx: Ctx,
+        kind: MsgKind,
+        payload: Payload,
+    ) {
+        let dst_world = comm.world_rank_of(dst);
+        let dst_core = self.shared.core_of(dst_world);
+        let bytes = payload.len_bytes();
+        // Hockney with sender serialization: the sender's link is busy for
+        // β·m (back-to-back sends do not pipeline on one NIC), then the
+        // message lands α later.  Shared per-*node* NIC contention cannot be
+        // modelled soundly here (bookings would happen in wall-clock order
+        // while virtual clocks drift); the deterministic, virtual-time-
+        // ordered variant lives in `schedule::evaluate_contended`.
+        let link = self.shared.cfg.machine.link_params(self.core, dst_core);
+        let busy = link.beta_ns_per_byte * bytes as f64;
+        self.clock.tick(self.shared.cfg.send_overhead_ns + busy);
+        let sent_at = self.clock.now_ns();
+        let cost = link.alpha_ns;
+        let ev = PmlEvent {
+            src_world: self.world_rank,
+            dst_world,
+            src_core: self.core,
+            dst_core,
+            bytes,
+            kind,
+            vtime_ns: sent_at,
+        };
+        self.dispatch_pml(&ev);
+        let env = Envelope {
+            src_world: self.world_rank,
+            dst_world,
+            comm_id: comm.id(),
+            ctx,
+            tag,
+            kind,
+            payload,
+            sent_at_ns: sent_at,
+            arrival_ns: sent_at + cost,
+        };
+        self.shared.senders[dst_world].send(env).expect("destination rank is gone");
+    }
+
+    /// Run the PML interposition hooks for one wire event (also used by the
+    /// one-sided layer whose data does not travel as envelopes).
+    pub(crate) fn dispatch_pml(&self, ev: &PmlEvent) {
+        // Allocation-free dispatch: the overhead experiment (paper Fig 4)
+        // measures exactly this path.
+        let hooks = self.local_hooks.borrow();
+        if !hooks.is_empty() {
+            hooks.dispatch(ev);
+        }
+        drop(hooks);
+        for h in self.shared.global_hooks.read().iter() {
+            h.on_send(ev);
+        }
+    }
+
+    pub(crate) fn wire_recv(&self, comm: &Comm, src: SrcSel, tag: TagSel, ctx: Ctx) -> Envelope {
+        let src_sel = match src {
+            SrcSel::Any => mailbox::SrcSel::Any,
+            SrcSel::Rank(r) => mailbox::SrcSel::World(comm.world_rank_of(r)),
+        };
+        let pat = MatchPattern { comm_id: comm.id(), ctx, src: src_sel, tag };
+        let env = self.mailbox.borrow_mut().recv_match(&pat);
+        self.clock.advance_to(env.arrival_ns);
+        self.clock.tick(self.shared.cfg.recv_overhead_ns);
+        env
+    }
+
+    /// Receive matching a raw pattern (nonblocking-module plumbing),
+    /// applying the usual virtual-time rules.
+    pub(crate) fn mailbox_recv(&self, pat: &MatchPattern) -> Envelope {
+        let env = self.mailbox.borrow_mut().recv_match(pat);
+        self.clock.advance_to(env.arrival_ns);
+        self.clock.tick(self.shared.cfg.recv_overhead_ns);
+        env
+    }
+
+    /// Nonblocking probe against a raw pattern (no time cost).
+    pub(crate) fn mailbox_iprobe(&self, pat: &MatchPattern) -> bool {
+        self.mailbox.borrow_mut().iprobe(pat)
+    }
+
+    /// Next collective sequence tag on a communicator.
+    pub(crate) fn next_coll_tag(&self, comm: &Comm) -> u32 {
+        let mut seqs = self.coll_seq.borrow_mut();
+        let seq = seqs.entry(comm.id()).or_insert(0);
+        let tag = *seq;
+        *seq += 1;
+        tag
+    }
+
+    pub(crate) fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
+    // ----- point-to-point ----------------------------------------------------
+
+    /// Blocking typed send (buffered-eager: never blocks on the receiver).
+    pub fn send<T: Scalar>(&self, comm: &Comm, dst: usize, tag: u32, data: &[T]) {
+        self.wire_send(
+            comm,
+            dst,
+            tag,
+            Ctx::Pt2pt,
+            MsgKind::P2pUser,
+            Payload::Bytes(T::to_bytes(data)),
+        );
+    }
+
+    /// Blocking typed receive.
+    pub fn recv<T: Scalar>(&self, comm: &Comm, src: SrcSel, tag: TagSel) -> (Vec<T>, Status) {
+        let env = self.wire_recv(comm, src, tag, Ctx::Pt2pt);
+        let status = Status {
+            src: comm.rank_of_world(env.src_world).expect("sender not in communicator"),
+            tag: env.tag,
+            bytes: env.payload.len_bytes(),
+        };
+        (T::from_bytes(&env.payload.expect_bytes()), status)
+    }
+
+    /// Send a size-only synthetic message (classified as user p2p traffic).
+    pub fn send_synthetic(&self, comm: &Comm, dst: usize, tag: u32, bytes: u64) {
+        self.wire_send(comm, dst, tag, Ctx::Pt2pt, MsgKind::P2pUser, Payload::Synthetic(bytes));
+    }
+
+    /// Receive a synthetic message; returns its status.
+    pub fn recv_synthetic(&self, comm: &Comm, src: SrcSel, tag: TagSel) -> Status {
+        let env = self.wire_recv(comm, src, tag, Ctx::Pt2pt);
+        Status {
+            src: comm.rank_of_world(env.src_world).expect("sender not in communicator"),
+            tag: env.tag,
+            bytes: env.payload.len_bytes(),
+        }
+    }
+
+    /// Combined send + receive (safe under the eager-send model).
+    pub fn sendrecv<T: Scalar>(
+        &self,
+        comm: &Comm,
+        dst: usize,
+        send_tag: u32,
+        data: &[T],
+        src: SrcSel,
+        recv_tag: TagSel,
+    ) -> (Vec<T>, Status) {
+        self.send(comm, dst, send_tag, data);
+        self.recv(comm, src, recv_tag)
+    }
+
+    // ----- collectives (delegating to `collectives`) --------------------------
+
+    /// Barrier (dissemination algorithm).
+    pub fn barrier(&self, comm: &Comm) {
+        collectives::barrier(self, comm)
+    }
+
+    /// Broadcast from `root` (binomial tree).
+    pub fn bcast<T: Scalar>(&self, comm: &Comm, root: usize, data: &mut Vec<T>) {
+        collectives::bcast_binomial(self, comm, root, data)
+    }
+
+    /// Reduce to `root` (binomial tree); `Some(result)` at the root.
+    pub fn reduce<T: Scalar>(
+        &self,
+        comm: &Comm,
+        root: usize,
+        data: &[T],
+        op: impl Fn(T, T) -> T,
+    ) -> Option<Vec<T>> {
+        collectives::reduce_binomial(self, comm, root, data, op)
+    }
+
+    /// Allreduce (recursive doubling with non-power-of-two folding).
+    pub fn allreduce<T: Scalar>(&self, comm: &Comm, data: &[T], op: impl Fn(T, T) -> T) -> Vec<T> {
+        collectives::allreduce_recursive_doubling(self, comm, data, op)
+    }
+
+    /// Gather equal-size contributions at `root` (linear).
+    pub fn gather<T: Scalar>(&self, comm: &Comm, root: usize, data: &[T]) -> Option<Vec<T>> {
+        collectives::gather_linear(self, comm, root, data)
+    }
+
+    /// Allgather equal-size contributions (ring).
+    pub fn allgather<T: Scalar>(&self, comm: &Comm, data: &[T]) -> Vec<T> {
+        collectives::allgather_ring(self, comm, data)
+    }
+
+    /// Scatter equal-size chunks from `root` (linear).
+    pub fn scatter<T: Scalar>(&self, comm: &Comm, root: usize, data: Option<&[T]>) -> Vec<T> {
+        collectives::scatter_linear(self, comm, root, data)
+    }
+
+    /// All-to-all personalized exchange (ring-offset pairwise).
+    pub fn alltoall<T: Scalar>(&self, comm: &Comm, data: &[T]) -> Vec<T> {
+        collectives::alltoall_pairwise(self, comm, data)
+    }
+
+    /// Reduce-scatter with equal blocks (recursive halving / fallback).
+    pub fn reduce_scatter<T: Scalar>(
+        &self,
+        comm: &Comm,
+        data: &[T],
+        op: impl Fn(T, T) -> T,
+    ) -> Vec<T> {
+        collectives::reduce_scatter_block(self, comm, data, op)
+    }
+
+    /// Inclusive prefix scan (`MPI_Scan`).
+    pub fn scan<T: Scalar>(&self, comm: &Comm, data: &[T], op: impl Fn(T, T) -> T) -> Vec<T> {
+        collectives::scan_inclusive(self, comm, data, op)
+    }
+
+    /// Segmented (pipelined) binary-tree broadcast; returns the number of
+    /// segments used.
+    pub fn bcast_segmented<T: Scalar>(
+        &self,
+        comm: &Comm,
+        root: usize,
+        data: &mut Vec<T>,
+        seg_items: usize,
+    ) -> usize {
+        collectives::bcast_binary_segmented(self, comm, root, data, seg_items)
+    }
+
+    // ----- communicator management -------------------------------------------
+
+    /// `MPI_Comm_split`: members with equal `color` form a new communicator,
+    /// ordered by `(key, parent rank)`.  Collective over `comm`.
+    pub fn comm_split(&self, comm: &Comm, color: i64, key: i64) -> Comm {
+        // Gather (color, key) from every member.
+        let all = collectives::allgather_ring(self, comm, &[color, key]);
+        let n = comm.size();
+        let mut distinct: Vec<i64> = (0..n).map(|r| all[2 * r]).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        // Rank 0 allocates one globally unique id per color group; everyone
+        // derives its own from the broadcast base.
+        let mut base = vec![if comm.rank() == 0 {
+            self.shared.alloc_ids(distinct.len() as u64) as i64
+        } else {
+            0
+        }];
+        collectives::bcast_binomial(self, comm, 0, &mut base);
+        let color_idx = distinct.binary_search(&color).unwrap();
+        let id = base[0] as u64 + color_idx as u64;
+        // Build my group, ordered by (key, parent rank).
+        let mut members: Vec<(i64, usize)> = (0..n)
+            .filter(|&r| all[2 * r] == color)
+            .map(|r| (all[2 * r + 1], r))
+            .collect();
+        members.sort_unstable();
+        let group: Vec<usize> = members.iter().map(|&(_, r)| comm.world_rank_of(r)).collect();
+        let my_rank = members.iter().position(|&(_, r)| r == comm.rank()).unwrap();
+        Comm::new(id, Arc::new(group), my_rank)
+    }
+
+    /// Duplicate a communicator (same group, fresh matching id).
+    pub fn comm_dup(&self, comm: &Comm) -> Comm {
+        self.comm_split(comm, 0, comm.rank() as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_universe(n: usize) -> Universe {
+        let machine = Machine::cluster(2, 2, 4); // 16 cores
+        Universe::new(UniverseConfig::new(machine, Placement::packed(n)))
+    }
+
+    #[test]
+    fn ping_pong_moves_data_and_time() {
+        let u = small_universe(2);
+        let times = u.launch(|rank| {
+            let world = rank.comm_world();
+            if rank.world_rank() == 0 {
+                rank.send(&world, 1, 7, &[1.5f64, 2.5]);
+                let (v, st) = rank.recv::<f64>(&world, SrcSel::Rank(1), TagSel::Is(8));
+                assert_eq!(v, vec![4.0]);
+                assert_eq!(st.src, 1);
+            } else {
+                let (v, st) = rank.recv::<f64>(&world, SrcSel::Rank(0), TagSel::Is(7));
+                assert_eq!(v, vec![1.5, 2.5]);
+                assert_eq!(st.bytes, 16);
+                rank.send(&world, 0, 8, &[v[0] + v[1]]);
+            }
+            rank.now_ns()
+        });
+        // A round trip costs at least two latencies.
+        assert!(times[0] > 0.0 && times[1] > 0.0);
+    }
+
+    #[test]
+    fn virtual_time_respects_distance() {
+        // Rank 1 on the same socket as rank 0; rank 2 on another node.
+        let machine = Machine::cluster(2, 2, 4);
+        let placement = Placement::explicit(vec![0, 1, 8]);
+        let u = Universe::new(UniverseConfig::new(machine, placement));
+        let times = u.launch(|rank| {
+            let world = rank.comm_world();
+            match rank.world_rank() {
+                0 => {
+                    rank.send(&world, 1, 0, &[0u8; 1000]);
+                    rank.send(&world, 2, 0, &[0u8; 1000]);
+                    0.0
+                }
+                _ => {
+                    rank.recv::<u8>(&world, SrcSel::Rank(0), TagSel::Is(0));
+                    rank.now_ns()
+                }
+            }
+        });
+        assert!(
+            times[2] > times[1],
+            "cross-node recv ({}) should finish later than intra-socket ({})",
+            times[2],
+            times[1]
+        );
+    }
+
+    #[test]
+    fn synthetic_and_real_cost_the_same() {
+        let run = |synthetic: bool| {
+            let u = small_universe(2);
+            u.launch(move |rank| {
+                let world = rank.comm_world();
+                if rank.world_rank() == 0 {
+                    if synthetic {
+                        rank.send_synthetic(&world, 1, 0, 4096);
+                    } else {
+                        rank.send(&world, 1, 0, &vec![0u8; 4096]);
+                    }
+                    0.0
+                } else {
+                    if synthetic {
+                        rank.recv_synthetic(&world, SrcSel::Any, TagSel::Any);
+                    } else {
+                        rank.recv::<u8>(&world, SrcSel::Any, TagSel::Any);
+                    }
+                    rank.now_ns()
+                }
+            })[1]
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn self_send_works() {
+        let u = small_universe(1);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            rank.send(&world, 0, 3, &[42i32]);
+            let (v, st) = rank.recv::<i32>(&world, SrcSel::Rank(0), TagSel::Is(3));
+            assert_eq!(v, vec![42]);
+            assert_eq!(st.src, 0);
+        });
+    }
+
+    #[test]
+    fn nic_sees_only_cross_node() {
+        let machine = Machine::cluster(2, 1, 4); // nodes of 4 cores
+        let u = Universe::new(UniverseConfig::new(machine, Placement::packed(8)));
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            match rank.world_rank() {
+                0 => {
+                    rank.send(&world, 1, 0, &[0u8; 100]); // intra-node
+                    rank.send(&world, 4, 0, &[0u8; 200]); // cross-node
+                }
+                1 => {
+                    rank.recv::<u8>(&world, SrcSel::Rank(0), TagSel::Any);
+                }
+                4 => {
+                    rank.recv::<u8>(&world, SrcSel::Rank(0), TagSel::Any);
+                }
+                _ => {}
+            }
+        });
+        assert_eq!(u.nic().xmit_bytes(0), 200);
+        assert_eq!(u.nic().xmit_msgs(0), 1);
+        assert_eq!(u.nic().xmit_bytes(1), 0);
+    }
+
+    #[test]
+    fn comm_split_even_odd() {
+        let u = small_universe(6);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let me = rank.world_rank();
+            let sub = rank.comm_split(&world, (me % 2) as i64, me as i64);
+            assert_eq!(sub.size(), 3);
+            assert_eq!(sub.rank(), me / 2);
+            assert_eq!(sub.world_rank_of(sub.rank()), me);
+            // Traffic on the sub-communicator stays inside it.
+            let gathered = rank.allgather(&sub, &[me as u64]);
+            let expect: Vec<u64> =
+                (0..6).filter(|w| w % 2 == me % 2).map(|w| w as u64).collect();
+            assert_eq!(gathered, expect);
+        });
+    }
+
+    #[test]
+    fn comm_split_reorders_by_key() {
+        let u = small_universe(4);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let me = rank.world_rank();
+            // Reverse the ranks: key = n - 1 - me.
+            let rev = rank.comm_split(&world, 0, (3 - me) as i64);
+            assert_eq!(rev.rank(), 3 - me);
+            assert_eq!(rev.world_rank_of(0), 3);
+        });
+    }
+
+    #[test]
+    fn comm_dup_isolates_traffic() {
+        let u = small_universe(2);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let dup = rank.comm_dup(&world);
+            assert_ne!(dup.id(), world.id());
+            if rank.world_rank() == 0 {
+                rank.send(&world, 1, 5, &[1u8]);
+                rank.send(&dup, 1, 5, &[2u8]);
+            } else {
+                // Receive from the dup first: matching must not steal the
+                // world message even though it arrived earlier.
+                let (v, _) = rank.recv::<u8>(&dup, SrcSel::Any, TagSel::Any);
+                assert_eq!(v, vec![2]);
+                let (v, _) = rank.recv::<u8>(&world, SrcSel::Any, TagSel::Any);
+                assert_eq!(v, vec![1]);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "launched once")]
+    fn double_launch_panics() {
+        let u = small_universe(1);
+        u.launch(|_| ());
+        u.launch(|_| ());
+    }
+
+    #[test]
+    fn clock_monotone_through_traffic() {
+        let u = small_universe(4);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let mut last = rank.now_ns();
+            for it in 0..5 {
+                rank.barrier(&world);
+                let now = rank.now_ns();
+                assert!(now >= last, "clock went backwards at iteration {it}");
+                last = now;
+                rank.compute_ns(10.0);
+            }
+        });
+    }
+}

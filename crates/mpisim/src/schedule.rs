@@ -1,0 +1,656 @@
+//! Collective communication *schedules*.
+//!
+//! A schedule is the pure communication pattern of a collective — per rank,
+//! an ordered list of sends (with byte counts) and receives — detached from
+//! data movement.  Schedules serve two purposes:
+//!
+//! * [`execute`] replays a schedule on the live runtime with synthetic
+//!   payloads, so benchmarks can run paper-scale buffers (2·10⁸ ints)
+//!   without allocating them while the PML hooks and the cost model see the
+//!   real sizes;
+//! * [`evaluate`] computes the virtual completion times analytically, with
+//!   the exact timing rules of the threaded runtime — tests cross-check the
+//!   two paths against each other.
+
+use std::collections::{HashMap, VecDeque};
+
+use mim_topology::Machine;
+
+use crate::collectives::binomial_peers;
+use crate::comm::Comm;
+use crate::envelope::{Ctx, MsgKind, Payload};
+use crate::runtime::{Rank, SrcSel, TagSel};
+
+/// One step of a rank's program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Send `bytes` to communicator rank `peer`.
+    Send { peer: usize, bytes: u64 },
+    /// Receive the next message from communicator rank `peer`.
+    Recv { peer: usize },
+}
+
+/// A complete collective pattern: `steps[r]` is rank `r`'s program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    steps: Vec<Vec<Step>>,
+}
+
+impl Schedule {
+    /// Build from per-rank programs.
+    pub fn new(steps: Vec<Vec<Step>>) -> Self {
+        Self { steps }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Program of one rank.
+    pub fn rank_steps(&self, r: usize) -> &[Step] {
+        &self.steps[r]
+    }
+
+    /// Multiset of messages as (src, dst, bytes) triples, sorted — the
+    /// ground truth the monitoring library must reproduce.
+    pub fn message_multiset(&self) -> Vec<(usize, usize, u64)> {
+        let mut msgs = Vec::new();
+        for (src, steps) in self.steps.iter().enumerate() {
+            for s in steps {
+                if let Step::Send { peer, bytes } = *s {
+                    msgs.push((src, peer, bytes));
+                }
+            }
+        }
+        msgs.sort_unstable();
+        msgs
+    }
+
+    /// Total bytes on the wire.
+    pub fn total_bytes(&self) -> u64 {
+        self.message_multiset().iter().map(|&(_, _, b)| b).sum()
+    }
+
+    /// Total number of messages.
+    pub fn total_messages(&self) -> usize {
+        self.message_multiset().len()
+    }
+
+    /// Check the schedule is self-consistent: every send has a matching
+    /// receive on the peer, in matching per-channel order.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut sends: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut recvs: HashMap<(usize, usize), usize> = HashMap::new();
+        for (r, steps) in self.steps.iter().enumerate() {
+            for s in steps {
+                match *s {
+                    Step::Send { peer, .. } => {
+                        if peer >= self.nranks() {
+                            return Err(format!("rank {r} sends to out-of-range {peer}"));
+                        }
+                        *sends.entry((r, peer)).or_default() += 1;
+                    }
+                    Step::Recv { peer } => {
+                        if peer >= self.nranks() {
+                            return Err(format!("rank {r} receives from out-of-range {peer}"));
+                        }
+                        *recvs.entry((peer, r)).or_default() += 1;
+                    }
+                }
+            }
+        }
+        if sends != recvs {
+            return Err("send/receive counts differ on some channel".into());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generators (mirror the live algorithms in `collectives`)
+// ---------------------------------------------------------------------------
+
+/// Binomial-tree broadcast pattern.
+pub fn bcast_binomial(n: usize, root: usize, bytes: u64) -> Schedule {
+    let mut steps = vec![Vec::new(); n];
+    for vrank in 0..n {
+        let world = (vrank + root) % n;
+        let (parent, children) = binomial_peers(vrank, n);
+        let prog = &mut steps[world];
+        if let Some(p) = parent {
+            prog.push(Step::Recv { peer: (p + root) % n });
+        }
+        for c in children {
+            prog.push(Step::Send { peer: (c + root) % n, bytes });
+        }
+    }
+    Schedule::new(steps)
+}
+
+/// Binomial-tree reduce pattern (receives narrowest-child-first, mirroring
+/// [`crate::collectives::reduce_binomial`]).
+pub fn reduce_binomial(n: usize, root: usize, bytes: u64) -> Schedule {
+    let mut steps = vec![Vec::new(); n];
+    for vrank in 0..n {
+        let world = (vrank + root) % n;
+        let (parent, mut children) = binomial_peers(vrank, n);
+        children.reverse(); // narrowest first, like the mask loop
+        let prog = &mut steps[world];
+        for c in children {
+            prog.push(Step::Recv { peer: (c + root) % n });
+        }
+        if let Some(p) = parent {
+            prog.push(Step::Send { peer: (p + root) % n, bytes });
+        }
+    }
+    Schedule::new(steps)
+}
+
+/// Binary-tree broadcast pattern.
+pub fn bcast_binary(n: usize, root: usize, bytes: u64) -> Schedule {
+    let mut steps = vec![Vec::new(); n];
+    for vrank in 0..n {
+        let world = (vrank + root) % n;
+        let prog = &mut steps[world];
+        if vrank != 0 {
+            prog.push(Step::Recv { peer: ((vrank - 1) / 2 + root) % n });
+        }
+        for c in [2 * vrank + 1, 2 * vrank + 2] {
+            if c < n {
+                prog.push(Step::Send { peer: (c + root) % n, bytes });
+            }
+        }
+    }
+    Schedule::new(steps)
+}
+
+/// Binary-tree reduce pattern (the paper's Fig 5a algorithm).
+pub fn reduce_binary(n: usize, root: usize, bytes: u64) -> Schedule {
+    let mut steps = vec![Vec::new(); n];
+    for vrank in 0..n {
+        let world = (vrank + root) % n;
+        let prog = &mut steps[world];
+        for c in [2 * vrank + 1, 2 * vrank + 2] {
+            if c < n {
+                prog.push(Step::Recv { peer: (c + root) % n });
+            }
+        }
+        if vrank != 0 {
+            prog.push(Step::Send { peer: ((vrank - 1) / 2 + root) % n, bytes });
+        }
+    }
+    Schedule::new(steps)
+}
+
+/// Ring allgather pattern with `block_bytes` per contribution.
+#[allow(clippy::needless_range_loop)] // indices address several arrays at once
+pub fn allgather_ring(n: usize, block_bytes: u64) -> Schedule {
+    let mut steps = vec![Vec::new(); n];
+    for me in 0..n {
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let prog = &mut steps[me];
+        for _step in 0..n.saturating_sub(1) {
+            prog.push(Step::Send { peer: right, bytes: block_bytes });
+            prog.push(Step::Recv { peer: left });
+        }
+    }
+    Schedule::new(steps)
+}
+
+/// Dissemination barrier pattern (zero-byte messages).
+#[allow(clippy::needless_range_loop)] // indices address several arrays at once
+pub fn barrier_dissemination(n: usize) -> Schedule {
+    let mut steps = vec![Vec::new(); n];
+    for me in 0..n {
+        let mut dist = 1;
+        while dist < n {
+            steps[me].push(Step::Send { peer: (me + dist) % n, bytes: 0 });
+            steps[me].push(Step::Recv { peer: (me + n - dist) % n });
+            dist <<= 1;
+        }
+    }
+    Schedule::new(steps)
+}
+
+/// Recursive-doubling allreduce pattern with non-power-of-two folding,
+/// mirroring [`crate::collectives::allreduce_recursive_doubling`].
+#[allow(clippy::needless_range_loop)] // indices address several arrays at once
+pub fn allreduce_recursive_doubling(n: usize, bytes: u64) -> Schedule {
+    let mut steps = vec![Vec::new(); n];
+    if n == 1 {
+        return Schedule::new(steps);
+    }
+    let pow2 = n.next_power_of_two() >> usize::from(!n.is_power_of_two());
+    let rem = n - pow2;
+    let to_old = |r: usize| if r < rem { 2 * r + 1 } else { r + rem };
+    for me in 0..n {
+        let prog = &mut steps[me];
+        let newrank: Option<usize> = if me < 2 * rem {
+            if me % 2 == 0 {
+                prog.push(Step::Send { peer: me + 1, bytes });
+                None
+            } else {
+                prog.push(Step::Recv { peer: me - 1 });
+                Some(me / 2)
+            }
+        } else {
+            Some(me - rem)
+        };
+        if let Some(nr) = newrank {
+            let mut mask = 1;
+            while mask < pow2 {
+                let peer = to_old(nr ^ mask);
+                prog.push(Step::Send { peer, bytes });
+                prog.push(Step::Recv { peer });
+                mask <<= 1;
+            }
+        }
+        if me < 2 * rem {
+            if me % 2 == 0 {
+                prog.push(Step::Recv { peer: me + 1 });
+            } else {
+                prog.push(Step::Send { peer: me - 1, bytes });
+            }
+        }
+    }
+    Schedule::new(steps)
+}
+
+/// Pairwise (ring-offset) all-to-all pattern with equal `chunk_bytes`
+/// chunks, mirroring [`crate::collectives::alltoall_pairwise`].
+pub fn alltoall_pairwise(n: usize, chunk_bytes: u64) -> Schedule {
+    let mut steps = vec![Vec::new(); n];
+    for (me, prog) in steps.iter_mut().enumerate() {
+        for step in 1..n {
+            let to = (me + step) % n;
+            let from = (me + n - step) % n;
+            prog.push(Step::Send { peer: to, bytes: chunk_bytes });
+            prog.push(Step::Recv { peer: from });
+        }
+    }
+    Schedule::new(steps)
+}
+
+/// Segmented (pipelined) binary-tree broadcast pattern: the payload is cut
+/// into `ceil(bytes / seg_bytes)` segments, each forwarded down the binary
+/// tree; interleaved so interior ranks forward segment `s` while `s+1` is
+/// in flight.  Mirrors [`crate::collectives::bcast_binary_segmented`]
+/// (without its tiny length-header message).  Used to quantify how much
+/// pipelining narrows the reordering gap in the Fig 5 discussion.
+pub fn bcast_binary_segmented(n: usize, root: usize, bytes: u64, seg_bytes: u64) -> Schedule {
+    assert!(seg_bytes > 0, "segment size must be positive");
+    let mut steps = vec![Vec::new(); n];
+    let nsegs = bytes.div_ceil(seg_bytes).max(1);
+    for vrank in 0..n {
+        let world = (vrank + root) % n;
+        let parent = (vrank != 0).then(|| ((vrank - 1) / 2 + root) % n);
+        let children: Vec<usize> = [2 * vrank + 1, 2 * vrank + 2]
+            .into_iter()
+            .filter(|&c| c < n)
+            .map(|c| (c + root) % n)
+            .collect();
+        let prog = &mut steps[world];
+        for s in 0..nsegs {
+            let seg = if s + 1 == nsegs { bytes - (nsegs - 1) * seg_bytes } else { seg_bytes };
+            if let Some(p) = parent {
+                prog.push(Step::Recv { peer: p });
+            }
+            for &c in &children {
+                prog.push(Step::Send { peer: c, bytes: seg });
+            }
+        }
+    }
+    Schedule::new(steps)
+}
+
+// ---------------------------------------------------------------------------
+// Execution & evaluation
+// ---------------------------------------------------------------------------
+
+/// Replay a schedule on the live runtime with synthetic payloads.
+///
+/// Collective over `comm`; every member must call it with the same schedule.
+///
+/// # Panics
+/// Panics when the schedule's rank count differs from the communicator size.
+pub fn execute(rank: &Rank, comm: &Comm, schedule: &Schedule) {
+    assert_eq!(schedule.nranks(), comm.size(), "schedule/communicator size mismatch");
+    let tag = rank.next_coll_tag(comm);
+    for step in schedule.rank_steps(comm.rank()) {
+        match *step {
+            Step::Send { peer, bytes } => rank.wire_send(
+                comm,
+                peer,
+                tag,
+                Ctx::Coll,
+                MsgKind::Collective,
+                Payload::Synthetic(bytes),
+            ),
+            Step::Recv { peer } => {
+                rank.wire_recv(comm, SrcSel::Rank(peer), TagSel::Is(tag), Ctx::Coll);
+            }
+        }
+    }
+}
+
+/// Analytically compute per-rank completion times (ns) of a schedule, using
+/// the exact timing rules of the threaded runtime: a send occupies the
+/// sender for `send_overhead_ns + β·bytes` and the message lands `α` after
+/// that; a receive waits for arrival then pays `recv_overhead_ns`.
+/// `rank_to_core[r]` gives the core hosting communicator rank `r`.
+///
+/// # Panics
+/// Panics on a deadlocked (invalid) schedule.
+pub fn evaluate(
+    schedule: &Schedule,
+    machine: &Machine,
+    rank_to_core: &[usize],
+    send_overhead_ns: f64,
+    recv_overhead_ns: f64,
+) -> Vec<f64> {
+    simulate(schedule, machine, rank_to_core, send_overhead_ns, recv_overhead_ns, false)
+}
+
+/// Like [`evaluate`] but with per-node NIC contention: cross-node sends of
+/// one node serialize on its shared link (the runtime's
+/// `UniverseConfig::nic_contention` model).  Events are processed in
+/// virtual-time order, so this variant is deterministic — unlike the live
+/// runtime under contention, whose link bookings depend on thread timing.
+pub fn evaluate_contended(
+    schedule: &Schedule,
+    machine: &Machine,
+    rank_to_core: &[usize],
+    send_overhead_ns: f64,
+    recv_overhead_ns: f64,
+) -> Vec<f64> {
+    simulate(schedule, machine, rank_to_core, send_overhead_ns, recv_overhead_ns, true)
+}
+
+/// Discrete-event engine: repeatedly run the *ready* rank with the smallest
+/// clock for one step, so shared-resource bookings happen in virtual-time
+/// order.
+fn simulate(
+    schedule: &Schedule,
+    machine: &Machine,
+    rank_to_core: &[usize],
+    send_overhead_ns: f64,
+    recv_overhead_ns: f64,
+    contention: bool,
+) -> Vec<f64> {
+    let n = schedule.nranks();
+    assert_eq!(rank_to_core.len(), n, "rank/core mapping size mismatch");
+    let mut clock = vec![0.0f64; n];
+    let mut pc = vec![0usize; n];
+    let mut channels: HashMap<(usize, usize), VecDeque<f64>> = HashMap::new();
+    let mut nic_free = vec![0.0f64; machine.num_nodes()];
+    let mut remaining: usize = (0..n).map(|r| schedule.steps[r].len()).sum();
+    while remaining > 0 {
+        // Pick the ready rank with the smallest clock.
+        let mut next: Option<(f64, usize)> = None;
+        for r in 0..n {
+            if pc[r] == schedule.steps[r].len() {
+                continue;
+            }
+            let ready = match schedule.steps[r][pc[r]] {
+                Step::Send { .. } => true,
+                Step::Recv { peer } => {
+                    channels.get(&(peer, r)).is_some_and(|q| !q.is_empty())
+                }
+            };
+            if ready && next.is_none_or(|(t, _)| clock[r] < t) {
+                next = Some((clock[r], r));
+            }
+        }
+        let Some((_, r)) = next else {
+            panic!("schedule deadlocked during evaluation");
+        };
+        match schedule.steps[r][pc[r]] {
+            Step::Send { peer, bytes } => {
+                let (src, dst) = (rank_to_core[r], rank_to_core[peer]);
+                let link = machine.link_params(src, dst);
+                let busy = link.beta_ns_per_byte * bytes as f64;
+                clock[r] += send_overhead_ns;
+                if contention && machine.crosses_network(src, dst) {
+                    let node = machine.node_of_core(src);
+                    let start = nic_free[node].max(clock[r]);
+                    nic_free[node] = start + busy;
+                    clock[r] = start + busy;
+                } else {
+                    clock[r] += busy;
+                }
+                channels.entry((r, peer)).or_default().push_back(clock[r] + link.alpha_ns);
+            }
+            Step::Recv { peer } => {
+                let arrival = channels
+                    .get_mut(&(peer, r))
+                    .and_then(VecDeque::pop_front)
+                    .expect("readiness check guaranteed a message");
+                clock[r] = clock[r].max(arrival) + recv_overhead_ns;
+            }
+        }
+        pc[r] += 1;
+        remaining -= 1;
+    }
+    clock
+}
+
+/// Max completion time over all ranks — the collective's virtual makespan.
+pub fn makespan(
+    schedule: &Schedule,
+    machine: &Machine,
+    rank_to_core: &[usize],
+    send_overhead_ns: f64,
+    recv_overhead_ns: f64,
+) -> f64 {
+    evaluate(schedule, machine, rank_to_core, send_overhead_ns, recv_overhead_ns)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mim_topology::{Machine, Placement};
+
+    use crate::runtime::{Universe, UniverseConfig};
+
+    const NS: &[usize] = &[1, 2, 3, 4, 5, 7, 8, 12, 16];
+
+    #[test]
+    fn all_generators_validate() {
+        for &n in NS {
+            for root in [0, n / 2, n - 1] {
+                bcast_binomial(n, root, 100).validate().unwrap();
+                bcast_binary(n, root, 100).validate().unwrap();
+                reduce_binomial(n, root, 100).validate().unwrap();
+                reduce_binary(n, root, 100).validate().unwrap();
+            }
+            allgather_ring(n, 8).validate().unwrap();
+            barrier_dissemination(n).validate().unwrap();
+            allreduce_recursive_doubling(n, 64).validate().unwrap();
+            alltoall_pairwise(n, 32).validate().unwrap();
+            bcast_binary_segmented(n, 0, 1000, 100).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn tree_message_counts() {
+        // Any broadcast/reduce tree over n ranks moves exactly n-1 messages.
+        for &n in NS {
+            assert_eq!(bcast_binomial(n, 0, 10).total_messages(), n - 1);
+            assert_eq!(bcast_binary(n, 2 % n, 10).total_messages(), n - 1);
+            assert_eq!(reduce_binomial(n, 0, 10).total_messages(), n - 1);
+            assert_eq!(reduce_binary(n, 0, 10).total_messages(), n - 1);
+            assert_eq!(bcast_binomial(n, 0, 10).total_bytes(), 10 * (n as u64 - 1));
+        }
+    }
+
+    #[test]
+    fn ring_message_counts() {
+        let s = allgather_ring(6, 100);
+        assert_eq!(s.total_messages(), 6 * 5);
+        assert_eq!(s.total_bytes(), 3000);
+    }
+
+    #[test]
+    fn alltoall_message_counts() {
+        let s = alltoall_pairwise(5, 40);
+        assert_eq!(s.total_messages(), 5 * 4);
+        assert_eq!(s.total_bytes(), 800);
+        // The live collective produces the same multiset (5 ranks, 10-byte
+        // chunks of u64 -> use 5 u64 per chunk = 40 bytes).
+        let machine = Machine::cluster(1, 1, 8);
+        let u = Universe::new(UniverseConfig::new(machine, Placement::packed(5)));
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let data = vec![world.rank() as u64; 25];
+            rank.alltoall(&world, &data);
+        });
+    }
+
+    #[test]
+    fn reduce_is_transposed_bcast() {
+        // The reduce tree must be the bcast tree with arrows reversed.
+        for &n in NS {
+            let b: Vec<_> = bcast_binomial(n, 3 % n, 7)
+                .message_multiset()
+                .into_iter()
+                .map(|(s, d, by)| (d, s, by))
+                .collect();
+            let mut b = b;
+            b.sort_unstable();
+            assert_eq!(b, reduce_binomial(n, 3 % n, 7).message_multiset());
+        }
+    }
+
+    #[test]
+    fn evaluator_matches_threaded_runtime() {
+        // The analytic evaluator and the live execution must agree exactly.
+        let machine = Machine::cluster(2, 2, 4);
+        for schedule in [
+            bcast_binomial(12, 0, 4096),
+            reduce_binary(12, 5, 1 << 16),
+            allgather_ring(12, 512),
+            allreduce_recursive_doubling(12, 1000),
+            barrier_dissemination(12),
+        ] {
+            let placement = Placement::packed(12);
+            let rank_to_core: Vec<usize> = (0..12).map(|r| placement.core_of(r)).collect();
+            let cfg = UniverseConfig::new(machine.clone(), placement);
+            let (send_oh, recv_oh) = (cfg.send_overhead_ns, cfg.recv_overhead_ns);
+            let expect = evaluate(&schedule, &machine, &rank_to_core, send_oh, recv_oh);
+            let u = Universe::new(cfg);
+            let got = u.launch(|rank| {
+                let world = rank.comm_world();
+                execute(rank, &world, &schedule);
+                rank.now_ns()
+            });
+            for r in 0..12 {
+                assert!(
+                    (got[r] - expect[r]).abs() < 1e-6,
+                    "rank {r}: threaded {} vs analytic {}",
+                    got[r],
+                    expect[r]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_prefers_local_placement() {
+        // A bcast over 2 nodes is faster when the tree's heavy edges stay
+        // inside a node — sanity for the whole reordering story.
+        let machine = Machine::cluster(2, 1, 8);
+        let sched = bcast_binomial(16, 0, 1 << 20);
+        let packed: Vec<usize> = (0..16).collect();
+        let scattered: Vec<usize> =
+            (0..16).map(|r| if r % 2 == 0 { r / 2 } else { 8 + r / 2 }).collect();
+        let t_packed = makespan(&sched, &machine, &packed, 100.0, 50.0);
+        let t_scattered = makespan(&sched, &machine, &scattered, 100.0, 50.0);
+        assert!(
+            t_packed < t_scattered,
+            "packed {t_packed} should beat scattered {t_scattered}"
+        );
+    }
+
+    #[test]
+    fn segmented_bcast_schedule_totals_and_pipelining() {
+        let (n, bytes, seg) = (16usize, 4_000_000u64, 250_000u64);
+        let s = bcast_binary_segmented(n, 0, bytes, seg);
+        s.validate().unwrap();
+        // Total volume: every edge of the tree carries the full payload.
+        assert_eq!(s.total_bytes(), bytes * (n as u64 - 1));
+        // Pipelining shortens the makespan vs one whole-buffer message on a
+        // deep cross-node path.
+        let machine = Machine::cluster(2, 1, 8);
+        let cores: Vec<usize> = (0..n).map(|r| (r % 2) * 8 + r / 2).collect();
+        let chunked = makespan(&s, &machine, &cores, 100.0, 50.0);
+        let whole =
+            makespan(&bcast_binary_segmented(n, 0, bytes, bytes), &machine, &cores, 100.0, 50.0);
+        assert!(chunked < whole, "pipelined {chunked} vs whole {whole}");
+    }
+
+    #[test]
+    fn segmentation_widens_the_reordering_gap() {
+        // Ablation for the Fig 5 discussion: one might expect pipelining to
+        // soften the penalty of a bad mapping.  Under per-node NIC
+        // contention the opposite holds — the min-cut mapping pipelines
+        // around its single cross edge while the spread mapping stays
+        // throughput-bound on the node with the most cross edges, so the
+        // baseline/optimized ratio GROWS with segmentation.
+        let (n, bytes) = (16usize, 8_000_000u64);
+        let machine = Machine::cluster(2, 1, 8);
+        let spread: Vec<usize> = (0..n).map(|r| (r % 2) * 8 + r / 2).collect();
+        // Min-cut mapping for the 16-rank binary tree: the subtree rooted at
+        // vrank 1 ({1,3,4,7,8,9,10,15}) on node 1, the rest on node 0 —
+        // exactly one cross-node edge (0→1).
+        let subtree1 = [1usize, 3, 4, 7, 8, 9, 10, 15];
+        let mut packed = vec![0usize; n];
+        let (mut n0, mut n1) = (0, 8);
+        for (v, slot) in packed.iter_mut().enumerate() {
+            if subtree1.contains(&v) {
+                *slot = n1;
+                n1 += 1;
+            } else {
+                *slot = n0;
+                n0 += 1;
+            }
+        }
+        let ratio = |seg: u64| {
+            let s = bcast_binary_segmented(n, 0, bytes, seg);
+            let base = evaluate_contended(&s, &machine, &spread, 100.0, 50.0)
+                .into_iter()
+                .fold(0.0f64, f64::max);
+            let opt = evaluate_contended(&s, &machine, &packed, 100.0, 50.0)
+                .into_iter()
+                .fold(0.0f64, f64::max);
+            base / opt
+        };
+        let gap_whole = ratio(bytes);
+        let gap_seg = ratio(bytes / 64);
+        assert!(
+            gap_seg > gap_whole,
+            "segmentation should widen the gap under contention: {gap_seg} vs {gap_whole}"
+        );
+        assert!(gap_whole > 1.0, "placement matters before segmentation too");
+    }
+
+    #[test]
+    fn invalid_schedule_detected() {
+        let s = Schedule::new(vec![vec![Step::Send { peer: 1, bytes: 4 }], vec![]]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn evaluator_detects_deadlock() {
+        let s = Schedule::new(vec![
+            vec![Step::Recv { peer: 1 }],
+            vec![Step::Recv { peer: 0 }],
+        ]);
+        let machine = Machine::cluster(1, 1, 2);
+        evaluate(&s, &machine, &[0, 1], 0.0, 0.0);
+    }
+}

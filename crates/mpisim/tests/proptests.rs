@@ -1,0 +1,193 @@
+//! Property-based tests for the message-passing runtime.
+
+use proptest::prelude::*;
+
+use mim_mpisim::{schedule, Scalar, SrcSel, TagSel, Universe, UniverseConfig};
+use mim_topology::{Machine, Placement};
+
+proptest! {
+    #[test]
+    fn scalar_roundtrip_f64(v in prop::collection::vec(any::<f64>(), 0..50)) {
+        let back = f64::from_bytes(&f64::to_bytes(&v));
+        prop_assert_eq!(back.len(), v.len());
+        for (a, b) in back.iter().zip(&v) {
+            prop_assert!(a == b || (a.is_nan() && b.is_nan()));
+        }
+    }
+
+    #[test]
+    fn scalar_roundtrip_i32(v in prop::collection::vec(any::<i32>(), 0..50)) {
+        prop_assert_eq!(i32::from_bytes(&i32::to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn scalar_roundtrip_u64(v in prop::collection::vec(any::<u64>(), 0..50)) {
+        prop_assert_eq!(u64::from_bytes(&u64::to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn schedules_validate_for_any_shape(n in 1usize..24, root_idx in any::<prop::sample::Index>(), bytes in 0u64..1_000_000) {
+        let root = root_idx.index(n);
+        for s in [
+            schedule::bcast_binomial(n, root, bytes),
+            schedule::bcast_binary(n, root, bytes),
+            schedule::reduce_binomial(n, root, bytes),
+            schedule::reduce_binary(n, root, bytes),
+            schedule::allgather_ring(n, bytes),
+            schedule::barrier_dissemination(n),
+            schedule::allreduce_recursive_doubling(n, bytes),
+        ] {
+            prop_assert!(s.validate().is_ok());
+        }
+        prop_assert_eq!(schedule::bcast_binomial(n, root, bytes).total_messages(), n - 1);
+        prop_assert_eq!(schedule::reduce_binary(n, root, bytes).total_messages(), n - 1);
+    }
+
+    #[test]
+    fn contended_evaluation_never_faster(n in 2usize..12, bytes in 1u64..2_000_000) {
+        // Adding NIC contention can only delay completions.
+        let machine = Machine::cluster(2, 1, 8);
+        let cores: Vec<usize> = (0..n).map(|r| (r % 2) * 8 + r / 2).collect();
+        let s = schedule::allgather_ring(n, bytes);
+        let free = schedule::evaluate(&s, &machine, &cores, 100.0, 50.0);
+        let cont = schedule::evaluate_contended(&s, &machine, &cores, 100.0, 50.0);
+        for (f, c) in free.iter().zip(&cont) {
+            prop_assert!(c >= f, "contention made a rank faster: {c} < {f}");
+        }
+    }
+}
+
+proptest! {
+    // Thread-spawning cases are kept few but still property-driven.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn evaluator_matches_live_runtime(n in 2usize..8, bytes in 0u64..100_000, root_idx in any::<prop::sample::Index>()) {
+        let root = root_idx.index(n);
+        let machine = Machine::cluster(2, 2, 2);
+        let placement = Placement::packed(n);
+        let cores: Vec<usize> = (0..n).map(|r| placement.core_of(r)).collect();
+        let cfg = UniverseConfig::new(machine.clone(), placement);
+        let (soh, roh) = (cfg.send_overhead_ns, cfg.recv_overhead_ns);
+        for sched in [
+            schedule::bcast_binomial(n, root, bytes),
+            schedule::reduce_binary(n, root, bytes),
+            schedule::allgather_ring(n, bytes),
+        ] {
+            let expect = schedule::evaluate(&sched, &machine, &cores, soh, roh);
+            let machine2 = machine.clone();
+            let u = Universe::new(UniverseConfig::new(machine2, Placement::packed(n)));
+            let got = u.launch(|rank| {
+                let world = rank.comm_world();
+                schedule::execute(rank, &world, &sched);
+                rank.now_ns()
+            });
+            for r in 0..n {
+                prop_assert!((got[r] - expect[r]).abs() < 1e-6,
+                    "rank {r}: live {} vs analytic {}", got[r], expect[r]);
+            }
+        }
+    }
+
+    #[test]
+    fn per_channel_fifo_is_preserved(tags in prop::collection::vec(0u32..3, 1..20)) {
+        // Rank 0 sends a numbered sequence with arbitrary tags; rank 1
+        // receives with ANY_TAG and must see the numbers in order.
+        let count = tags.len();
+        let u = Universe::new(UniverseConfig::new(Machine::cluster(1, 1, 2), Placement::packed(2)));
+        let ok = u.launch(move |rank| {
+            let world = rank.comm_world();
+            if world.rank() == 0 {
+                for (i, &t) in tags.iter().enumerate() {
+                    rank.send(&world, 1, t, &[i as u64]);
+                }
+                true
+            } else {
+                let mut last = None;
+                for _ in 0..count {
+                    let (v, _) = rank.recv::<u64>(&world, SrcSel::Rank(0), TagSel::Any);
+                    if let Some(prev) = last {
+                        if v[0] != prev + 1 {
+                            return false;
+                        }
+                    } else if v[0] != 0 {
+                        return false;
+                    }
+                    last = Some(v[0]);
+                }
+                true
+            }
+        });
+        prop_assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn collectives_correct_on_random_subcomm(n in 2usize..10, colors in prop::collection::vec(0i64..2, 2..10)) {
+        // Split the world by arbitrary colors and allreduce within each part.
+        let colors = if colors.len() < n { return Ok(()); } else { colors };
+        let colors2 = colors.clone();
+        let u = Universe::new(UniverseConfig::new(Machine::cluster(2, 1, 8), Placement::packed(n)));
+        u.launch(move |rank| {
+            let world = rank.comm_world();
+            let me = world.rank();
+            let sub = rank.comm_split(&world, colors2[me], me as i64);
+            let sum = rank.allreduce(&sub, &[me as u64], |a, b| a + b)[0];
+            let expect: u64 = (0..n).filter(|&r| colors2[r] == colors2[me]).map(|r| r as u64).sum();
+            assert_eq!(sum, expect);
+        });
+        let _ = colors;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Reduce-scatter equals a naive reduce-then-slice reference for random
+    /// inputs, any rank count, any block size.
+    #[test]
+    fn reduce_scatter_matches_reference(n in 1usize..10, block in 1usize..5, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let inputs: Vec<Vec<i64>> = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            (0..n).map(|_| (0..n * block).map(|_| rng.gen_range(-100..100)).collect()).collect()
+        };
+        let expect: Vec<i64> = (0..n * block)
+            .map(|i| inputs.iter().map(|v| v[i]).sum())
+            .collect();
+        let inputs2 = inputs.clone();
+        let u = Universe::new(UniverseConfig::new(Machine::cluster(2, 1, 8), Placement::packed(n)));
+        u.launch(move |rank| {
+            let world = rank.comm_world();
+            let me = world.rank();
+            let out = rank.reduce_scatter(&world, &inputs2[me], |a, b| a + b);
+            assert_eq!(out, expect[me * block..(me + 1) * block].to_vec());
+        });
+    }
+
+    /// Scan equals the prefix sums of the contributions.
+    #[test]
+    fn scan_matches_prefix_sums(n in 1usize..12, vals in prop::collection::vec(-50i64..50, 12)) {
+        let vals2 = vals.clone();
+        let u = Universe::new(UniverseConfig::new(Machine::cluster(2, 1, 8), Placement::packed(n)));
+        u.launch(move |rank| {
+            let world = rank.comm_world();
+            let me = world.rank();
+            let out = rank.scan(&world, &[vals2[me]], |a, b| a + b);
+            let expect: i64 = vals2[..=me].iter().sum();
+            assert_eq!(out, vec![expect]);
+        });
+    }
+
+    /// Segmented broadcast delivers identical data for any segment size.
+    #[test]
+    fn segmented_bcast_any_segmentation(n in 1usize..12, seg in 1usize..40, len in 0usize..60) {
+        let u = Universe::new(UniverseConfig::new(Machine::cluster(2, 1, 8), Placement::packed(n)));
+        u.launch(move |rank| {
+            let world = rank.comm_world();
+            let payload: Vec<u32> = (0..len as u32).collect();
+            let mut data = if world.rank() == 0 { payload.clone() } else { vec![] };
+            rank.bcast_segmented(&world, 0, &mut data, seg);
+            assert_eq!(data, payload);
+        });
+    }
+}

@@ -1,0 +1,309 @@
+//! `mim-reorder` — dynamic rank reordering driven by introspection
+//! monitoring (the paper's Fig. 1 algorithm and Sec. 5).
+//!
+//! The idea: an iterative application has the same communication pattern at
+//! every iteration.  Monitor the first iteration with `mim-core`, gather the
+//! byte matrix at rank 0, compute a topology-aware permutation `k` with
+//! TreeMatch, broadcast it, and build an *optimized communicator* via
+//! `comm_split(color = 0, key = k[my_rank])` in which the process holding
+//! old rank `i` holds new rank `k[i]`.  Remaining iterations run on the
+//! optimized communicator; optionally, data is redistributed first
+//! ("any useful data is sent from rank `k[i]` to rank `i` in the original
+//! communicator").
+//!
+//! Processes never move: only the rank labels rotate, so a rank-based
+//! communication pattern lands on topologically closer core pairs.
+
+use std::time::Instant;
+
+use mim_core::{Flags, Monitoring};
+use mim_mpisim::{Comm, Rank, SrcSel, TagSel};
+use mim_topology::{inverse_permutation, CommMatrix, Machine, Placement};
+use mim_treematch::place_constrained;
+
+/// Result of a monitored reordering.
+pub struct ReorderOutcome {
+    /// The optimized communicator (old rank `i` → new rank `k[i]`).
+    pub comm: Comm,
+    /// The permutation: `k[i]` is the new rank of the process holding old
+    /// rank `i`.
+    pub k: Vec<usize>,
+    /// Virtual time spent on the whole reordering step (gather + mapping +
+    /// broadcast + split), in nanoseconds — the `t2` of the paper's Fig. 6
+    /// gain formula.
+    pub reorder_cost_ns: f64,
+    /// Wall-clock time rank 0 spent inside TreeMatch (paper Table 1).
+    pub mapping_wall_s: f64,
+}
+
+/// Compute the reordering permutation `k` from a gathered byte matrix.
+///
+/// `group[r]` is the world rank currently holding communicator rank `r`.
+/// The available slots are exactly the cores those processes occupy, so the
+/// constrained TreeMatch variant is used.  Returns `k` with `k[i]` = new
+/// rank for old rank `i`.
+pub fn compute_mapping(
+    machine: &Machine,
+    placement: &Placement,
+    group: &[usize],
+    sizes: &CommMatrix,
+) -> Vec<usize> {
+    assert_eq!(group.len(), sizes.order(), "matrix order must match communicator size");
+    // Slot r = the core hosting old rank r.
+    let slots: Vec<usize> = group.iter().map(|&w| placement.core_of(w)).collect();
+    // sigma[role] = slot for pattern role `role`; the rank-based pattern
+    // means role r is whatever the process with (new) rank r does.
+    let sigma = place_constrained(machine, &slots, sizes);
+    // New rank r must be held by the process at slot sigma[r], i.e. by old
+    // rank sigma[r]:  k[sigma[r]] = r  ⇔  k = sigma⁻¹.
+    inverse_permutation(&sigma)
+}
+
+/// The paper's Fig. 1 algorithm: run `monitored` (typically the first
+/// iteration) under a fresh session on `comm`, then gather the byte matrix
+/// at rank 0, compute `k`, broadcast it, and split.  The returned
+/// communicator has the same group with reordered ranks.
+///
+/// `flags` selects which traffic builds the matrix (the paper's Fig. 1 uses
+/// `MPI_M_P2P_ONLY`; collective-optimization experiments monitor
+/// `COLL_ONLY`).
+///
+/// # Panics
+/// Panics if any monitoring call fails (programming error in the caller's
+/// session discipline).
+pub fn monitored_reorder(
+    rank: &Rank,
+    mon: &Monitoring,
+    comm: &Comm,
+    flags: Flags,
+    monitored: impl FnOnce(&Comm),
+) -> ReorderOutcome {
+    let id = mon.start(rank, comm).expect("start monitoring session");
+    monitored(comm);
+    mon.suspend(id).expect("suspend monitoring session");
+    let t0 = rank.now_ns();
+    let gathered = mon
+        .rootgather_data(rank, id, 0, flags)
+        .expect("gather monitored matrix at rank 0");
+    let n = comm.size();
+    let mut k_buf: Vec<u64> = vec![0; n];
+    let mut mapping_wall_s = 0.0;
+    if let Some(data) = gathered {
+        let wall = Instant::now();
+        let k = compute_mapping(rank.machine(), rank.placement(), comm.group(), &data.sizes);
+        mapping_wall_s = wall.elapsed().as_secs_f64();
+        // The mapping computation takes real time on rank 0: charge it on
+        // the virtual clock so the reordering cost is honest (Fig. 6).
+        rank.compute_ns(mapping_wall_s * 1e9);
+        for (i, &ki) in k.iter().enumerate() {
+            k_buf[i] = ki as u64;
+        }
+    }
+    rank.bcast(comm, 0, &mut k_buf);
+    let k: Vec<usize> = k_buf.iter().map(|&v| v as usize).collect();
+    let opt_comm = rank.comm_split(comm, 0, k[comm.rank()] as i64);
+    let reorder_cost_ns = rank.now_ns() - t0;
+    mon.free(id).expect("free monitoring session");
+    ReorderOutcome { comm: opt_comm, k, reorder_cost_ns, mapping_wall_s }
+}
+
+/// Compute a fresh placement for an *elastic* reconfiguration (the paper's
+/// Sec 7 use-case after Cores et al., VECPAR'16): the number of computing
+/// resources changed, processes will be migrated/respawned, and their new
+/// homes should follow the monitored communication matrix and the topology.
+///
+/// `available_cores` are the cores of the surviving allocation; the matrix
+/// order gives the (possibly shrunken or grown) process count.  Returns the
+/// placement to relaunch with.
+///
+/// # Panics
+/// Panics when more processes than cores are requested.
+pub fn elastic_placement(
+    machine: &Machine,
+    available_cores: &[usize],
+    sizes: &CommMatrix,
+) -> Placement {
+    let sigma = place_constrained(machine, available_cores, sizes);
+    Placement::explicit(sigma.into_iter().map(|s| available_cores[s]).collect())
+}
+
+/// Redistribute per-role data after a reordering: old rank `i` receives the
+/// data of its new role `k[i]` from old rank `k[i]`, and ships its own to
+/// old rank `k⁻¹[i]` (paper: "data is sent from rank `k[i]` to rank `i` in
+/// the original communicator").
+pub fn redistribute<T: mim_mpisim::Scalar>(
+    rank: &Rank,
+    original_comm: &Comm,
+    k: &[usize],
+    data: Vec<T>,
+) -> Vec<T> {
+    let me = original_comm.rank();
+    let inv = inverse_permutation(k);
+    if k[me] == me && inv[me] == me {
+        return data;
+    }
+    const REDIST_TAG: u32 = 0x00F1_0000;
+    rank.send(original_comm, inv[me], REDIST_TAG, &data);
+    let (new_data, _) =
+        rank.recv::<T>(original_comm, SrcSel::Rank(k[me]), TagSel::Is(REDIST_TAG));
+    new_data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mim_mpisim::{Universe, UniverseConfig};
+    use mim_topology::TopologyTree;
+
+    /// 8 ranks spread cyclically over 2 nodes, so consecutive ranks live on
+    /// different nodes — the worst case for a pattern of (2i, 2i+1) pairs.
+    fn cyclic_universe() -> Universe {
+        let machine = Machine::cluster(2, 1, 8);
+        let tree = TopologyTree::new(vec![2, 1, 8]);
+        let placement = Placement::cyclic_by_level(&tree, 8, 1);
+        Universe::new(UniverseConfig::new(machine, placement))
+    }
+
+    /// One "iteration": each even rank exchanges a large buffer with its
+    /// odd neighbour (rank-based pattern).
+    fn pair_exchange(rank: &Rank, comm: &Comm, bytes: u64) {
+        let me = comm.rank();
+        let peer = if me.is_multiple_of(2) { me + 1 } else { me - 1 };
+        rank.send_synthetic(comm, peer, 9, bytes);
+        rank.recv_synthetic(comm, SrcSel::Rank(peer), TagSel::Is(9));
+    }
+
+    #[test]
+    fn compute_mapping_pairs_heavy_partners() {
+        let machine = Machine::cluster(2, 1, 8);
+        let tree = TopologyTree::new(vec![2, 1, 8]);
+        let placement = Placement::cyclic_by_level(&tree, 8, 1);
+        let group: Vec<usize> = (0..8).collect();
+        let mut sizes = CommMatrix::zeros(8);
+        for i in (0..8).step_by(2) {
+            sizes.set(i, i + 1, 1 << 20);
+            sizes.set(i + 1, i, 1 << 20);
+        }
+        let k = compute_mapping(&machine, &placement, &group, &sizes);
+        // k is a permutation.
+        let _ = inverse_permutation(&k);
+        // After reordering, the processes holding new ranks 2i and 2i+1 must
+        // share a node: new rank r is held by old rank inv_k[r], whose core
+        // is placement.core_of(inv_k[r]).
+        let inv = inverse_permutation(&k);
+        for i in (0..8).step_by(2) {
+            let core_a = placement.core_of(inv[i]);
+            let core_b = placement.core_of(inv[i + 1]);
+            assert_eq!(
+                machine.node_of_core(core_a),
+                machine.node_of_core(core_b),
+                "pattern pair ({i}, {}) split across nodes; k = {k:?}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn monitored_reorder_improves_iteration_time() {
+        let u = cyclic_universe();
+        let (before, after): (Vec<f64>, Vec<f64>) = {
+            let results = u.launch(|rank| {
+                let world = rank.comm_world();
+                let mon = Monitoring::init(rank).unwrap();
+                let bytes = 4 << 20;
+                // Monitor one iteration and reorder.
+                let outcome =
+                    monitored_reorder(rank, &mon, &world, Flags::P2P_ONLY, |comm| {
+                        pair_exchange(rank, comm, bytes)
+                    });
+                // Time one iteration on the original communicator...
+                rank.barrier(&world);
+                let t0 = rank.now_ns();
+                pair_exchange(rank, &world, bytes);
+                rank.barrier(&world);
+                let t_before = rank.now_ns() - t0;
+                // ...and one on the optimized communicator.
+                let t1 = rank.now_ns();
+                pair_exchange(rank, &outcome.comm, bytes);
+                rank.barrier(&world);
+                let t_after = rank.now_ns() - t1;
+                mon.finalize(rank).unwrap();
+                (t_before, t_after)
+            });
+            results.into_iter().unzip()
+        };
+        let worst_before = before.iter().cloned().fold(0.0, f64::max);
+        let worst_after = after.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            worst_after < worst_before,
+            "reordering should shrink the exchange: {worst_before} -> {worst_after}"
+        );
+    }
+
+    #[test]
+    fn opt_comm_assigns_rank_k() {
+        let u = cyclic_universe();
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let mon = Monitoring::init(rank).unwrap();
+            let outcome = monitored_reorder(rank, &mon, &world, Flags::P2P_ONLY, |comm| {
+                pair_exchange(rank, comm, 1024)
+            });
+            assert_eq!(outcome.comm.size(), world.size());
+            assert_eq!(outcome.comm.rank(), outcome.k[world.rank()]);
+            assert!(outcome.reorder_cost_ns > 0.0);
+            mon.finalize(rank).unwrap();
+        });
+    }
+
+    #[test]
+    fn redistribute_moves_roles() {
+        let u = cyclic_universe();
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let me = world.rank();
+            // A fixed non-trivial permutation.
+            let k: Vec<usize> = vec![3, 0, 1, 2, 5, 4, 7, 6];
+            let data = vec![me as u64; 4];
+            let new_data = redistribute(rank, &world, &k, data);
+            // I now perform role k[me], whose data lived at old rank k[me].
+            assert_eq!(new_data, vec![k[me] as u64; 4]);
+        });
+    }
+
+    #[test]
+    fn redistribute_identity_is_noop() {
+        let u = cyclic_universe();
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let k: Vec<usize> = (0..8).collect();
+            let data = vec![world.rank() as u32];
+            assert_eq!(redistribute(rank, &world, &k, data.clone()), data);
+        });
+    }
+    #[test]
+    fn elastic_placement_follows_the_matrix() {
+        // A 12-process job shrinks to 6 processes on node 1 plus 2 cores of
+        // node 0; the heavy pairs must land close together.
+        let machine = Machine::cluster(2, 1, 8);
+        let available = vec![0, 1, 8, 9, 10, 11, 12, 13];
+        let mut m = CommMatrix::zeros(6);
+        for i in (0..6).step_by(2) {
+            m.set(i, i + 1, 1 << 20);
+        }
+        let p = elastic_placement(&machine, &available, &m);
+        assert_eq!(p.len(), 6);
+        for i in (0..6).step_by(2) {
+            assert_eq!(
+                machine.node_of_core(p.core_of(i)),
+                machine.node_of_core(p.core_of(i + 1)),
+                "pair ({i}, {}) split across nodes: {:?}",
+                i + 1,
+                p.as_slice()
+            );
+        }
+        // Every assigned core comes from the available set.
+        assert!(p.as_slice().iter().all(|c| available.contains(c)));
+    }
+
+}

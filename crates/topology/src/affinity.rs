@@ -1,0 +1,178 @@
+//! Dense process-affinity (communication) matrices.
+//!
+//! The monitoring library produces these (messages / bytes exchanged per
+//! ordered pair of processes) and TreeMatch consumes them.
+
+use std::fmt::Write as _;
+
+/// A dense `n × n` matrix of `u64` (row-major): `m[i][j]` is the traffic
+/// process `i` sent to process `j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommMatrix {
+    n: usize,
+    data: Vec<u64>,
+}
+
+impl CommMatrix {
+    /// Zero matrix of order `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0; n * n] }
+    }
+
+    /// Build from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != n * n`.
+    pub fn from_row_major(n: usize, data: Vec<u64>) -> Self {
+        assert_eq!(data.len(), n * n, "matrix buffer length mismatch");
+        Self { n, data }
+    }
+
+    /// Build by concatenating per-process rows (the shape `allgather_data`
+    /// produces).
+    pub fn from_rows(rows: &[Vec<u64>]) -> Self {
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * n);
+        for r in rows {
+            assert_eq!(r.len(), n, "row length must equal matrix order");
+            data.extend_from_slice(r);
+        }
+        Self { n, data }
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> u64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Set entry `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: u64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Add `v` to entry `(i, j)`.
+    pub fn add(&mut self, i: usize, j: usize, v: u64) {
+        self.data[i * self.n + j] += v;
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_row_major(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Sum of all entries.
+    pub fn total(&self) -> u64 {
+        self.data.iter().sum()
+    }
+
+    /// Number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0).count()
+    }
+
+    /// Symmetrized matrix `m + mᵀ` — TreeMatch works on undirected affinity.
+    pub fn symmetrized(&self) -> Self {
+        let mut out = Self::zeros(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                out.set(i, j, self.get(i, j) + self.get(j, i));
+            }
+        }
+        out
+    }
+
+    /// Matrix after renaming process `i` to `k[i]` (the rank-reordering view:
+    /// `out[k[i]][k[j]] = m[i][j]`).
+    ///
+    /// # Panics
+    /// Panics when `k` is not a permutation of `0..order()`.
+    pub fn permuted(&self, k: &[usize]) -> Self {
+        assert_eq!(k.len(), self.n, "permutation size mismatch");
+        let mut out = Self::zeros(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                out.set(k[i], k[j], self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// CSV rendering (one row per line).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{}", self.get(i, j));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_accumulate() {
+        let mut m = CommMatrix::zeros(3);
+        assert_eq!(m.total(), 0);
+        m.add(0, 1, 5);
+        m.add(0, 1, 2);
+        m.set(2, 0, 9);
+        assert_eq!(m.get(0, 1), 7);
+        assert_eq!(m.total(), 16);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row(0), &[0, 7, 0]);
+    }
+
+    #[test]
+    fn from_rows_matches_row_major() {
+        let m = CommMatrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        assert_eq!(m, CommMatrix::from_row_major(2, vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn symmetrization() {
+        let m = CommMatrix::from_row_major(2, vec![0, 3, 1, 0]);
+        let s = m.symmetrized();
+        assert_eq!(s.get(0, 1), 4);
+        assert_eq!(s.get(1, 0), 4);
+        assert_eq!(s.total(), 8);
+    }
+
+    #[test]
+    fn permutation_moves_entries() {
+        let m = CommMatrix::from_row_major(3, vec![0, 9, 0, 0, 0, 0, 0, 0, 0]);
+        // Rename 0→2, 1→0, 2→1: the 0→1 traffic becomes 2→0 traffic.
+        let p = m.permuted(&[2, 0, 1]);
+        assert_eq!(p.get(2, 0), 9);
+        assert_eq!(p.total(), 9);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let m = CommMatrix::from_row_major(2, vec![1, 2, 3, 4]);
+        assert_eq!(m.to_csv(), "1,2\n3,4\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_buffer_rejected() {
+        CommMatrix::from_row_major(2, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the topology primitives.
+
+use proptest::prelude::*;
+
+use mim_topology::{inverse_permutation, CommMatrix, Placement, TopologyTree};
+
+fn arb_arities() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..6, 1..4)
+}
+
+fn arb_tree() -> impl Strategy<Value = TopologyTree> {
+    arb_arities().prop_map(TopologyTree::new)
+}
+
+proptest! {
+    #[test]
+    fn lca_is_symmetric_and_bounded(tree in arb_tree(), a in any::<prop::sample::Index>(), b in any::<prop::sample::Index>()) {
+        let n = tree.num_leaves();
+        let (a, b) = (a.index(n), b.index(n));
+        let lca = tree.lca_depth(a, b);
+        prop_assert_eq!(lca, tree.lca_depth(b, a));
+        prop_assert!(lca <= tree.depth());
+        prop_assert_eq!(lca == tree.depth(), a == b);
+    }
+
+    #[test]
+    fn distance_is_an_ultrametric(tree in arb_tree(),
+                                  a in any::<prop::sample::Index>(),
+                                  b in any::<prop::sample::Index>(),
+                                  c in any::<prop::sample::Index>()) {
+        let n = tree.num_leaves();
+        let (a, b, c) = (a.index(n), b.index(n), c.index(n));
+        let (dab, dbc, dac) = (tree.distance(a, b), tree.distance(b, c), tree.distance(a, c));
+        // Tree level distance satisfies the strong triangle inequality.
+        prop_assert!(dac <= dab.max(dbc), "d({a},{c})={dac} > max({dab},{dbc})");
+        prop_assert_eq!(dab % 2, 0);
+    }
+
+    #[test]
+    fn ancestors_nest(tree in arb_tree(), leaf in any::<prop::sample::Index>()) {
+        let leaf = leaf.index(tree.num_leaves());
+        // Walking up the tree, ancestor ids shrink consistently with level
+        // sizes, and leaves under the same ancestor stay grouped.
+        for level in 0..tree.depth() {
+            let anc = tree.ancestor(leaf, level);
+            prop_assert!(anc < tree.nodes_at_level(level));
+            let child = tree.ancestor(leaf, level + 1);
+            let per = tree.subtree_leaves(level) / tree.subtree_leaves(level + 1);
+            prop_assert_eq!(child / per, anc);
+        }
+    }
+
+    #[test]
+    fn random_placement_is_injective(tree in arb_tree(), seed in any::<u64>()) {
+        let n = (tree.num_leaves() / 2).max(1);
+        let p = Placement::random(&tree, n, seed);
+        let mut cores: Vec<usize> = p.as_slice().to_vec();
+        cores.sort_unstable();
+        cores.dedup();
+        prop_assert_eq!(cores.len(), n);
+        prop_assert!(p.as_slice().iter().all(|&c| c < tree.num_leaves()));
+    }
+
+    #[test]
+    fn cyclic_placement_spreads_evenly(tree in arb_tree()) {
+        let level = 1.min(tree.depth());
+        let groups = tree.nodes_at_level(level);
+        let n = groups * 2.min(tree.subtree_leaves(level));
+        if n <= tree.num_leaves() && 2 <= tree.subtree_leaves(level) {
+            let p = Placement::cyclic_by_level(&tree, n, level);
+            let mut per_group = vec![0usize; groups];
+            for i in 0..n {
+                per_group[tree.ancestor(p.core_of(i), level)] += 1;
+            }
+            prop_assert!(per_group.iter().all(|&c| c == n / groups));
+        }
+    }
+
+    #[test]
+    fn permutation_inverse_roundtrip(perm in prop::sample::subsequence((0..12usize).collect::<Vec<_>>(), 12).prop_shuffle()) {
+        let inv = inverse_permutation(&perm);
+        let back = inverse_permutation(&inv);
+        prop_assert_eq!(back, perm);
+    }
+
+    #[test]
+    fn matrix_permutation_preserves_mass(entries in prop::collection::vec((0usize..6, 0usize..6, 1u64..1000), 0..20),
+                                         perm in Just((0..6usize).collect::<Vec<_>>()).prop_shuffle()) {
+        let mut m = CommMatrix::zeros(6);
+        for (i, j, w) in entries {
+            m.add(i, j, w);
+        }
+        let p = m.permuted(&perm);
+        prop_assert_eq!(p.total(), m.total());
+        prop_assert_eq!(p.nnz(), m.nnz());
+        // Spot-check an entry mapping.
+        for i in 0..6 {
+            for j in 0..6 {
+                prop_assert_eq!(p.get(perm[i], perm[j]), m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrized_total_doubles(entries in prop::collection::vec((0usize..5, 0usize..5, 1u64..100), 0..15)) {
+        let mut m = CommMatrix::zeros(5);
+        for (i, j, w) in entries {
+            m.add(i, j, w);
+        }
+        let s = m.symmetrized();
+        prop_assert_eq!(s.total(), 2 * m.total());
+        for i in 0..5 {
+            for j in 0..5 {
+                prop_assert_eq!(s.get(i, j), s.get(j, i));
+            }
+        }
+    }
+}

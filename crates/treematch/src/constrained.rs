@@ -1,0 +1,286 @@
+//! Constrained placement: processes may only occupy a given slot set.
+//!
+//! Dynamic rank reordering cannot move processes to idle cores — the only
+//! freedom is to permute the ranks over the cores the job already occupies,
+//! which in general do not form a balanced subtree (think a random initial
+//! mapping).  This module solves that constrained problem with top-down
+//! recursive partitioning, the dual of bottom-up TreeMatch (and the approach
+//! of TreeMatchConstraints): split the processes across the most expensive
+//! topology level first, honouring the exact per-subtree slot occupancies,
+//! then recurse inside each subtree.
+
+use mim_topology::Machine;
+
+use crate::affinity::Affinity;
+
+/// Assign each process to one of `slots` (core ids, all distinct):
+/// returns `sigma` with `sigma[p]` = index into `slots`.
+///
+/// Keeps heavily-communicating processes under cheap common ancestors.
+/// Requires `affinity.order() <= slots.len()`; spare slots stay empty.
+///
+/// # Panics
+/// Panics when there are more processes than slots.
+pub fn place_constrained(
+    machine: &Machine,
+    slots: &[usize],
+    affinity: &impl Affinity,
+) -> Vec<usize> {
+    let n = affinity.order();
+    assert!(n <= slots.len(), "{n} processes cannot fit in {} slots", slots.len());
+    let mut sigma = vec![usize::MAX; n];
+    let procs: Vec<usize> = (0..n).collect();
+    let slot_idx: Vec<usize> = (0..slots.len()).collect();
+    recurse(machine, slots, affinity, 0, procs, slot_idx, &mut sigma);
+    debug_assert!(sigma.iter().all(|&s| s != usize::MAX));
+    sigma
+}
+
+fn recurse(
+    machine: &Machine,
+    slots: &[usize],
+    affinity: &impl Affinity,
+    level: usize,
+    procs: Vec<usize>,
+    slot_idx: Vec<usize>,
+    sigma: &mut [usize],
+) {
+    if procs.is_empty() {
+        return;
+    }
+    if level == machine.tree.depth() || slot_idx.len() == 1 {
+        // Leaves (or a single slot): assign in order.
+        for (p, s) in procs.into_iter().zip(slot_idx) {
+            sigma[p] = s;
+        }
+        return;
+    }
+    // Bucket the slots by their subtree at `level + 1`.
+    let mut buckets: Vec<(usize, Vec<usize>)> = Vec::new();
+    for &s in &slot_idx {
+        let anc = machine.tree.ancestor(slots[s], level + 1);
+        match buckets.iter_mut().find(|(a, _)| *a == anc) {
+            Some((_, b)) => b.push(s),
+            None => buckets.push((anc, vec![s])),
+        }
+    }
+    if buckets.len() == 1 {
+        recurse(machine, slots, affinity, level + 1, procs, slot_idx, sigma);
+        return;
+    }
+    // Fill buckets to capacity, largest first, so processes pack into as
+    // few subtrees as possible.
+    buckets.sort_unstable_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+    let mut remaining = procs;
+    let mut assignments: Vec<(Vec<usize>, Vec<usize>)> = Vec::with_capacity(buckets.len());
+    for (_, bucket) in buckets {
+        if remaining.is_empty() {
+            break;
+        }
+        let take = bucket.len().min(remaining.len());
+        let group = extract_cohesive_group(affinity, &mut remaining, take);
+        assignments.push((group, bucket));
+    }
+    debug_assert!(remaining.is_empty());
+    // Greedy growth is weak on uniform-weight patterns (it grows in index
+    // order): refine the partition with Kernighan–Lin swaps before
+    // committing to subtrees.
+    refine_partition(affinity, &mut assignments);
+    for (group, bucket) in assignments {
+        recurse(machine, slots, affinity, level + 1, group, bucket, sigma);
+    }
+}
+
+/// Kernighan–Lin-style pairwise refinement: swap processes across groups
+/// while any swap reduces the weight cut by the partition.
+fn refine_partition(affinity: &impl Affinity, groups: &mut [(Vec<usize>, Vec<usize>)]) {
+    if groups.len() < 2 {
+        return;
+    }
+    // Connection of process p to group g.
+    let conn = |p: usize, g: &[usize]| -> i64 {
+        g.iter().map(|&q| if q == p { 0 } else { affinity.weight(p, q) as i64 }).sum()
+    };
+    let max_passes = 4;
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for ga in 0..groups.len() {
+            for gb in ga + 1..groups.len() {
+                loop {
+                    // Best single swap between groups ga and gb.
+                    let mut best: Option<(i64, usize, usize)> = None;
+                    for (ia, &a) in groups[ga].0.iter().enumerate() {
+                        let d_a = conn(a, &groups[gb].0) - conn(a, &groups[ga].0);
+                        for (ib, &b) in groups[gb].0.iter().enumerate() {
+                            let d_b = conn(b, &groups[ga].0) - conn(b, &groups[gb].0);
+                            let gain = d_a + d_b - 2 * affinity.weight(a, b) as i64;
+                            if gain > 0 && best.is_none_or(|(g, _, _)| gain > g) {
+                                best = Some((gain, ia, ib));
+                            }
+                        }
+                    }
+                    let Some((_, ia, ib)) = best else { break };
+                    let tmp = groups[ga].0[ia];
+                    groups[ga].0[ia] = groups[gb].0[ib];
+                    groups[gb].0[ib] = tmp;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+/// Remove and return a group of `size` processes from `pool`, grown greedily
+/// around the heaviest internal edge to maximize intra-group affinity.
+fn extract_cohesive_group(
+    affinity: &impl Affinity,
+    pool: &mut Vec<usize>,
+    size: usize,
+) -> Vec<usize> {
+    debug_assert!(size <= pool.len());
+    if size == pool.len() {
+        return std::mem::take(pool);
+    }
+    let mut group = Vec::with_capacity(size);
+    // Seed with the heaviest pair inside the pool (fall back to the first
+    // process when there is no traffic at all).
+    let mut seed = (pool[0], None, 0u64);
+    for (x, &i) in pool.iter().enumerate() {
+        for &j in &pool[x + 1..] {
+            let w = affinity.weight(i, j);
+            if w > seed.2 {
+                seed = (i, Some(j), w);
+            }
+        }
+    }
+    take_from(pool, seed.0);
+    group.push(seed.0);
+    if size > 1 {
+        if let Some(j) = seed.1 {
+            take_from(pool, j);
+            group.push(j);
+        }
+    }
+    // Grow: repeatedly pull the pool process with max affinity to the group.
+    while group.len() < size {
+        let (pos, _) = pool
+            .iter()
+            .enumerate()
+            .map(|(pos, &p)| (pos, group.iter().map(|&g| affinity.weight(p, g)).sum::<u64>()))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("pool cannot be empty while group is short");
+        group.push(pool.remove(pos));
+    }
+    group
+}
+
+fn take_from(pool: &mut Vec<usize>, value: usize) {
+    let pos = pool.iter().position(|&p| p == value).expect("value must be in pool");
+    pool.remove(pos);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::mapping_distance_cost;
+    use mim_topology::{CommMatrix, Machine};
+
+    fn assert_valid(sigma: &[usize], nslots: usize) {
+        let mut seen = vec![false; nslots];
+        for &s in sigma {
+            assert!(s < nslots && !seen[s]);
+            seen[s] = true;
+        }
+    }
+
+    #[test]
+    fn pairs_share_a_node_when_possible() {
+        let machine = Machine::cluster(2, 1, 4);
+        // Slots: 2 cores on node 0, 2 on node 1.
+        let slots = vec![0, 1, 4, 5];
+        let mut m = CommMatrix::zeros(4);
+        // 0↔2 and 1↔3 are the heavy pairs; identity would split both.
+        m.set(0, 2, 100);
+        m.set(1, 3, 100);
+        let sigma = place_constrained(&machine, &slots, &m);
+        assert_valid(&sigma, 4);
+        let node = |p: usize| machine.node_of_core(slots[sigma[p]]);
+        assert_eq!(node(0), node(2));
+        assert_eq!(node(1), node(3));
+        assert_ne!(node(0), node(1));
+    }
+
+    #[test]
+    fn respects_uneven_occupancy() {
+        let machine = Machine::cluster(2, 1, 4);
+        // 3 slots on node 0, 1 slot on node 1.
+        let slots = vec![0, 1, 2, 4];
+        let mut m = CommMatrix::zeros(4);
+        m.set(0, 1, 50);
+        m.set(1, 2, 50);
+        m.set(0, 2, 50); // clique 0-1-2; process 3 is isolated
+        let sigma = place_constrained(&machine, &slots, &m);
+        assert_valid(&sigma, 4);
+        let node = |p: usize| machine.node_of_core(slots[sigma[p]]);
+        assert_eq!(node(0), node(1));
+        assert_eq!(node(1), node(2));
+        assert_ne!(node(3), node(0), "the isolated process takes the lone remote slot");
+    }
+
+    #[test]
+    fn improves_on_identity_for_scattered_slots() {
+        let machine = Machine::plafrim(2); // 48 cores
+        // Random-ish slot set across both nodes.
+        let slots = vec![0, 3, 7, 11, 25, 29, 33, 40];
+        let mut m = CommMatrix::zeros(8);
+        // Two cliques interleaved over the slot order.
+        for &(a, b) in &[(0, 2), (2, 4), (0, 4), (1, 3), (3, 5), (1, 5), (6, 7)] {
+            m.set(a, b, 10);
+        }
+        let sigma = place_constrained(&machine, &slots, &m);
+        assert_valid(&sigma, 8);
+        let cores: Vec<usize> = (0..8).map(|p| slots[sigma[p]]).collect();
+        let identity: Vec<usize> = slots.clone();
+        assert!(
+            mapping_distance_cost(&machine.tree, &cores, &m)
+                <= mapping_distance_cost(&machine.tree, &identity, &m)
+        );
+    }
+
+    #[test]
+    fn fewer_processes_than_slots_pack_together() {
+        let machine = Machine::cluster(4, 1, 4);
+        let slots: Vec<usize> = (0..16).collect();
+        let mut m = CommMatrix::zeros(4);
+        m.set(0, 1, 5);
+        m.set(2, 3, 5);
+        m.set(1, 2, 5);
+        let sigma = place_constrained(&machine, &slots, &m);
+        assert_valid(&sigma, 16);
+        // All four processes fit on one node; a chain this tight should not
+        // be spread over more than one.
+        let nodes: std::collections::HashSet<usize> =
+            (0..4).map(|p| machine.node_of_core(slots[sigma[p]])).collect();
+        assert_eq!(nodes.len(), 1, "sigma = {sigma:?}");
+    }
+
+    #[test]
+    fn zero_affinity_still_valid() {
+        let machine = Machine::cluster(2, 2, 2);
+        let slots: Vec<usize> = (0..8).collect();
+        let m = CommMatrix::zeros(8);
+        let sigma = place_constrained(&machine, &slots, &m);
+        assert_valid(&sigma, 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_processes_panic() {
+        let machine = Machine::cluster(1, 1, 2);
+        let m = CommMatrix::zeros(3);
+        place_constrained(&machine, &[0, 1], &m);
+    }
+}

@@ -1,0 +1,9 @@
+#!/bin/bash
+set -x
+cd /root/repo
+for b in fig2_counters table1_treematch fig5_collectives fig6_heatmap fig4_overhead fig7_cg; do
+  echo "===== $b start $(date +%T)"
+  ./target/release/$b > results/logs/$b.log 2>&1
+  echo "===== $b done $(date +%T) rc=$?"
+done
+echo ALL_BENCH_BINS_DONE

@@ -1,0 +1,102 @@
+//! The distributed CG application: numerics vs the sequential reference,
+//! and invariance of the numerics under rank reordering.
+
+use mim_apps::cg;
+use mim_apps::sparse::cg_reference;
+use mim_core::{Flags, Monitoring};
+use mim_mpisim::{Universe, UniverseConfig};
+use mim_reorder::monitored_reorder;
+use mim_topology::{Machine, Placement};
+
+#[test]
+fn distributed_matches_reference_at_16_ranks() {
+    let class = cg::CgClass { name: "T", na: 480, extra_per_row: 5, iters: 18, flops_per_iter: 0.0 };
+    let a = cg::generate_matrix(class, 16, 3);
+    let na = a.order();
+    let u = Universe::new(UniverseConfig::new(Machine::plafrim(1), Placement::packed(16)));
+    let a2 = a.clone();
+    let blocks = u.launch(move |rank| {
+        let world = rank.comm_world();
+        cg::run_cg(rank, &world, &a2, class.iters).0
+    });
+    let x: Vec<f64> = blocks.concat();
+    let (x_ref, _, _) = cg_reference(&a, &vec![1.0; na], class.iters, 0.0);
+    for i in 0..na {
+        assert!((x[i] - x_ref[i]).abs() < 1e-8 * x_ref[i].abs().max(1.0));
+    }
+}
+
+#[test]
+fn reordering_preserves_the_solution_exactly() {
+    let class = cg::CgClass { name: "T", na: 384, extra_per_row: 4, iters: 12, flops_per_iter: 0.0 };
+    let np = 24;
+    let a = cg::generate_matrix(class, np, 8);
+    let machine = Machine::plafrim(2);
+    let placement = Placement::random(&machine.tree, np, 4242);
+
+    let run = |reorder: bool| -> (f64, Vec<f64>) {
+        let a = a.clone();
+        let u = Universe::new(UniverseConfig::new(machine.clone(), placement.clone()));
+        let out = u.launch(move |rank| {
+            let world = rank.comm_world();
+            if !reorder {
+                let (x, s) = cg::run_cg(rank, &world, &a, class.iters);
+                return (s.residual, x, world.rank());
+            }
+            let mon = Monitoring::init(rank).unwrap();
+            let outcome = monitored_reorder(rank, &mon, &world, Flags::ALL_COMM, |comm| {
+                cg::run_cg(rank, comm, &a, 1);
+            });
+            let (x, s) = cg::run_cg(rank, &outcome.comm, &a, class.iters);
+            mon.finalize(rank).unwrap();
+            // Return with the *new* rank so blocks can be reassembled.
+            (s.residual, x, outcome.comm.rank())
+        });
+        let residual = out[0].0;
+        let mut blocks: Vec<(usize, Vec<f64>)> =
+            out.into_iter().map(|(_, x, r)| (r, x)).collect();
+        blocks.sort_by_key(|(r, _)| *r);
+        (residual, blocks.into_iter().flat_map(|(_, x)| x).collect())
+    };
+
+    let (res_plain, x_plain) = run(false);
+    let (res_opt, x_opt) = run(true);
+    assert_eq!(res_plain, res_opt, "residuals must be bit-identical");
+    assert_eq!(x_plain, x_opt, "solutions must be bit-identical");
+}
+
+#[test]
+fn comm_time_shrinks_under_reordering_on_bad_mapping() {
+    let class = cg::CgClass { name: "T", na: 768, extra_per_row: 4, iters: 10, flops_per_iter: 0.0 };
+    let np = 24;
+    let a = cg::generate_matrix(class, np, 21);
+    let machine = Machine::plafrim(2);
+    // Node-cyclic: ring neighbours always on opposite nodes.
+    let placement = Placement::cyclic_by_level(&machine.tree, np, machine.node_level);
+
+    let run = |reorder: bool| -> f64 {
+        let a = a.clone();
+        let u = Universe::new(UniverseConfig::new(machine.clone(), placement.clone()));
+        let stats = u.launch(move |rank| {
+            let world = rank.comm_world();
+            if !reorder {
+                return cg::run_cg(rank, &world, &a, class.iters).1.comm_ns;
+            }
+            let mon = Monitoring::init(rank).unwrap();
+            let outcome = monitored_reorder(rank, &mon, &world, Flags::ALL_COMM, |comm| {
+                cg::run_cg(rank, comm, &a, 1);
+            });
+            let comm_ns = cg::run_cg(rank, &outcome.comm, &a, class.iters).1.comm_ns;
+            mon.finalize(rank).unwrap();
+            comm_ns
+        });
+        stats[0]
+    };
+
+    let base = run(false);
+    let opt = run(true);
+    assert!(
+        opt < base,
+        "reordering should reduce rank 0's communication time: {base} -> {opt}"
+    );
+}
