@@ -64,7 +64,11 @@ impl CollOptPoint {
 /// Compute the reordering permutation for a collective's monitored
 /// decomposition: runs the live pipeline (session → gather at rank 0 →
 /// TreeMatch → broadcast → split) and returns `k`.
-pub fn monitored_permutation(machine: &Machine, placement: &Placement, sched: &Schedule) -> Vec<usize> {
+pub fn monitored_permutation(
+    machine: &Machine,
+    placement: &Placement,
+    sched: &Schedule,
+) -> Vec<usize> {
     let u = Universe::new(UniverseConfig::new(machine.clone(), placement.clone()));
     let ks = u.launch(|rank| {
         let world = rank.comm_world();
@@ -128,7 +132,8 @@ mod tests {
     fn reduce_reordering_helps_on_spread_ranks() {
         // 16 ranks over 2 nodes, large buffers: the binary tree's heavy
         // edges get pulled inside nodes.
-        let p = collective_opt(Machine::cluster(2, 1, 8), 16, CollectiveKind::ReduceBinary, 500_000);
+        let p =
+            collective_opt(Machine::cluster(2, 1, 8), 16, CollectiveKind::ReduceBinary, 500_000);
         assert!(
             p.reordered_ns < p.baseline_ns,
             "reduce got slower: {} -> {}",
@@ -156,7 +161,8 @@ mod tests {
         // runtime for all the buffer size" — small ones via the latency
         // ratio, large ones via bandwidth and NIC contention.
         for buf in [100u64, 10_000, 1_000_000] {
-            let p = collective_opt(Machine::cluster(2, 1, 8), 16, CollectiveKind::ReduceBinary, buf);
+            let p =
+                collective_opt(Machine::cluster(2, 1, 8), 16, CollectiveKind::ReduceBinary, buf);
             assert!(p.speedup() > 1.0, "no gain at {buf} ints: {:?}", p);
         }
     }

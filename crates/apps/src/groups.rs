@@ -77,7 +77,10 @@ pub fn grouped_allgather_gain(
     group_size: usize,
     buf_ints: u64,
 ) -> GroupGain {
-    assert!(nprocs.is_multiple_of(group_size), "{nprocs} ranks not divisible into {group_size}-groups");
+    assert!(
+        nprocs.is_multiple_of(group_size),
+        "{nprocs} ranks not divisible into {group_size}-groups"
+    );
     let placement = Placement::cyclic_by_level(&machine.tree, nprocs, machine.node_level);
     let cfg = UniverseConfig::new(machine.clone(), placement.clone());
     let (send_oh, recv_oh) = (cfg.send_overhead_ns, cfg.recv_overhead_ns);
@@ -159,11 +162,7 @@ mod tests {
         // Few iterations: the reordering cost dominates — lower gain.
         assert!(g.gain_percent(1) < g.gain_percent(10_000));
         // Many iterations amortize the reordering: positive gain.
-        assert!(
-            g.gain_percent(10_000) > 0.0,
-            "gain at 10k iterations: {}",
-            g.gain_percent(10_000)
-        );
+        assert!(g.gain_percent(10_000) > 0.0, "gain at 10k iterations: {}", g.gain_percent(10_000));
     }
 
     #[test]

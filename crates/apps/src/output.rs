@@ -42,10 +42,7 @@ pub fn ascii_table(header: &[&str], rows: &[Vec<String>]) -> String {
         out.push('\n');
     };
     emit(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    emit(
-        &mut out,
-        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
-    );
+    emit(&mut out, &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         emit(&mut out, row);
     }
@@ -55,11 +52,7 @@ pub fn ascii_table(header: &[&str], rows: &[Vec<String>]) -> String {
 /// Render a heatmap of `values[row][col]` with a diverging character ramp —
 /// negative values (red in the paper's Fig 6) as `-`/`=`, positive (green)
 /// as `+`/`#`.
-pub fn ascii_heatmap(
-    row_labels: &[String],
-    col_labels: &[String],
-    values: &[Vec<f64>],
-) -> String {
+pub fn ascii_heatmap(row_labels: &[String], col_labels: &[String], values: &[Vec<f64>]) -> String {
     let cell = |v: f64| -> &'static str {
         if v <= -50.0 {
             " == "

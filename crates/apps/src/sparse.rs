@@ -1,8 +1,7 @@
 //! Sparse symmetric positive-definite matrices and a sequential CG
 //! reference, standing in for the NPB `makea` generator.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mim_util::rng::Rng;
 
 /// Compressed-sparse-row square matrix.
 #[derive(Debug, Clone)]
@@ -77,7 +76,7 @@ impl Csr {
 /// outer-product construction with a diagonal shift.
 pub fn random_spd(n: usize, extra_per_row: usize, seed: u64) -> Csr {
     assert!(n > 0, "matrix order must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     // Collect symmetric off-diagonal entries per row.
     let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
     for i in 0..n {

@@ -1,49 +1,51 @@
 //! Property-based tests for statistics and the sparse-matrix generator.
 
-use proptest::prelude::*;
-
 use mim_apps::sparse::{cg_reference, random_spd};
 use mim_apps::stats::{mean, median, t_critical_95, variance, welch_diff};
+use mim_util::props;
 
-proptest! {
-    #[test]
-    fn mean_median_within_bounds(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+props! {
+    fn mean_median_within_bounds(g) {
+        let xs = g.vec(1..100, |g| g.gen_range(-1e6f64..1e6));
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!((lo..=hi).contains(&mean(&xs)));
-        prop_assert!((lo..=hi).contains(&median(&xs)));
+        assert!((lo..=hi).contains(&mean(&xs)));
+        assert!((lo..=hi).contains(&median(&xs)));
     }
 
-    #[test]
-    fn variance_non_negative_and_shift_invariant(xs in prop::collection::vec(-1e3f64..1e3, 2..60), shift in -1e3f64..1e3) {
+    fn variance_non_negative_and_shift_invariant(g) {
+        let xs = g.vec(2..60, |g| g.gen_range(-1e3f64..1e3));
+        let shift = g.gen_range(-1e3f64..1e3);
         let v = variance(&xs);
-        prop_assert!(v >= 0.0);
+        assert!(v >= 0.0);
         let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
-        prop_assert!((variance(&shifted) - v).abs() < 1e-6 * v.abs().max(1.0));
+        assert!((variance(&shifted) - v).abs() < 1e-6 * v.abs().max(1.0));
     }
 
-    #[test]
-    fn welch_is_antisymmetric(a in prop::collection::vec(-1e3f64..1e3, 2..40),
-                              b in prop::collection::vec(-1e3f64..1e3, 2..40)) {
+    fn welch_is_antisymmetric(g) {
+        let a = g.vec(2..40, |g| g.gen_range(-1e3f64..1e3));
+        let b = g.vec(2..40, |g| g.gen_range(-1e3f64..1e3));
         let ab = welch_diff(&a, &b);
         let ba = welch_diff(&b, &a);
-        prop_assert!((ab.diff + ba.diff).abs() < 1e-9);
-        prop_assert!((ab.ci95 - ba.ci95).abs() < 1e-9);
-        prop_assert_eq!(ab.significant(), ba.significant());
+        assert!((ab.diff + ba.diff).abs() < 1e-9);
+        assert!((ab.ci95 - ba.ci95).abs() < 1e-9);
+        assert_eq!(ab.significant(), ba.significant());
     }
 
-    #[test]
-    fn t_critical_decreases_with_df(df in 1.0f64..200.0) {
+    fn t_critical_decreases_with_df(g) {
+        let df = g.gen_range(1.0f64..200.0);
         let t = t_critical_95(df);
-        prop_assert!(t >= t_critical_95(df + 1.0) - 1e-9);
-        prop_assert!((1.9..=12.8).contains(&t));
+        assert!(t >= t_critical_95(df + 1.0) - 1e-9);
+        assert!((1.9..=12.8).contains(&t));
     }
 
-    #[test]
-    fn spd_generator_invariants(n in 2usize..60, epr in 1usize..6, seed in any::<u64>()) {
+    fn spd_generator_invariants(g) {
+        let n = g.gen_range(2usize..60);
+        let epr = g.gen_range(1usize..6);
+        let seed = g.any_u64();
         let a = random_spd(n, epr, seed);
-        prop_assert_eq!(a.order(), n);
-        prop_assert!(a.is_symmetric());
+        assert_eq!(a.order(), n);
+        assert!(a.is_symmetric());
         // Strict diagonal dominance on every row.
         for i in 0..n {
             let (cols, vals) = a.row(i);
@@ -52,15 +54,16 @@ proptest! {
             for (&j, &v) in cols.iter().zip(vals) {
                 if j == i { diag = v } else { off += v.abs() }
             }
-            prop_assert!(diag > off);
+            assert!(diag > off);
         }
     }
 
-    #[test]
-    fn cg_reference_converges_on_spd(n in 4usize..40, seed in any::<u64>()) {
+    fn cg_reference_converges_on_spd(g) {
+        let n = g.gen_range(4usize..40);
+        let seed = g.any_u64();
         let a = random_spd(n, 3, seed);
         let b = vec![1.0; n];
         let (_, res, iters) = cg_reference(&a, &b, 3 * n, 1e-9);
-        prop_assert!(res <= 1e-9, "residual {res} after {iters} iterations");
+        assert!(res <= 1e-9, "residual {res} after {iters} iterations");
     }
 }

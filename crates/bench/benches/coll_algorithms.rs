@@ -1,19 +1,17 @@
 //! Collective-algorithm ablation: analytic makespans of the tree shapes the
 //! paper's Fig 5 relies on (binary vs binomial), and evaluator throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use mim_util::bench::{black_box, Bench};
 
 use mim_mpisim::schedule;
 use mim_topology::{Machine, Placement};
 
-fn bench_makespans(c: &mut Criterion) {
+fn main() {
     let machine = Machine::plafrim(4);
     let np = 96;
     let placement = Placement::cyclic_by_level(&machine.tree, np, machine.node_level);
     let cores: Vec<usize> = (0..np).map(|r| placement.core_of(r)).collect();
     let bytes = 8_000_000;
-    let mut g = c.benchmark_group("collective_makespan_eval");
     let schedules = [
         ("bcast_binomial", schedule::bcast_binomial(np, 0, bytes)),
         ("bcast_binary", schedule::bcast_binary(np, 0, bytes)),
@@ -22,16 +20,15 @@ fn bench_makespans(c: &mut Criterion) {
         ("allgather_ring", schedule::allgather_ring(np, bytes / np as u64)),
         ("allreduce_rd", schedule::allreduce_recursive_doubling(np, bytes)),
     ];
+    let mut b = Bench::new("coll_algorithms");
     for (name, sched) in &schedules {
-        g.bench_with_input(BenchmarkId::from_parameter(name), sched, |b, s| {
-            b.iter(|| {
-                schedule::evaluate_contended(black_box(s), &machine, &cores, 100.0, 50.0)
-                    .into_iter()
-                    .fold(0.0f64, f64::max)
-            });
+        b.iter("collective_makespan_eval", name, || {
+            schedule::evaluate_contended(black_box(sched), &machine, &cores, 100.0, 50.0)
+                .into_iter()
+                .fold(0.0f64, f64::max);
         });
     }
-    g.finish();
+    b.finish();
 
     // Report the ablation numbers once, for the record.
     println!("\nanalytic makespans, {np} ranks cyclic on 4 nodes, 8 MB buffers:");
@@ -42,6 +39,3 @@ fn bench_makespans(c: &mut Criterion) {
         println!("  {name:>16}: {:.2} ms", t / 1e6);
     }
 }
-
-criterion_group!(benches, bench_makespans);
-criterion_main!(benches);

@@ -2,8 +2,7 @@
 //! with and without an active session — the mechanism behind Fig 4's
 //! "overhead is very small" claim, measured in isolation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use mim_util::bench::{black_box, Bench};
 
 use mim_core::Monitoring;
 use mim_mpisim::{SrcSel, TagSel, Universe, UniverseConfig};
@@ -36,16 +35,13 @@ fn ping_run(msgs: usize, monitored: bool) {
     });
 }
 
-fn bench_hook(c: &mut Criterion) {
-    let mut g = c.benchmark_group("monitoring_hook");
+fn main() {
+    let mut b = Bench::new("hook_overhead");
     for monitored in [false, true] {
         let label = if monitored { "monitored" } else { "bare" };
-        g.bench_with_input(BenchmarkId::new("ping_2k_msgs", label), &monitored, |b, &m| {
-            b.iter(|| ping_run(black_box(2000), m));
+        b.iter("monitoring_hook", &format!("ping_2k_msgs/{label}"), || {
+            ping_run(black_box(2000), monitored);
         });
     }
-    g.finish();
+    b.finish();
 }
-
-criterion_group!(benches, bench_hook);
-criterion_main!(benches);

@@ -1,8 +1,7 @@
 //! TreeMatch scaling and grouping-strategy ablation (feeds Table 1 and the
 //! DESIGN.md greedy-vs-exhaustive choice).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use mim_util::bench::{black_box, Bench};
 
 use mim_topology::{CommMatrix, Machine, Placement};
 use mim_treematch::affinity::stencil2d;
@@ -22,45 +21,42 @@ fn clustered_matrix(n: usize, clique: usize) -> CommMatrix {
     m
 }
 
-fn bench_tree_match(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tree_match");
+fn bench_tree_match(b: &mut Bench) {
     for &order in &[256usize, 1024, 4096] {
         let aff = stencil2d(order / 32, 32, 10);
         let arities = [order / 24 + 1, 2, 12];
-        g.bench_with_input(BenchmarkId::new("stencil_greedy", order), &order, |b, _| {
-            b.iter(|| tree_match_with(black_box(&arities), &aff, GroupingStrategy::Greedy));
+        b.iter("tree_match", &format!("stencil_greedy/{order}"), || {
+            tree_match_with(black_box(&arities), &aff, GroupingStrategy::Greedy);
         });
     }
-    g.finish();
 }
 
-fn bench_strategies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("grouping_strategy");
+fn bench_strategies(b: &mut Bench) {
     let m = clustered_matrix(16, 4);
     let arities = [2usize, 2, 4];
     for strat in [GroupingStrategy::Greedy, GroupingStrategy::Exhaustive] {
-        g.bench_with_input(
-            BenchmarkId::new("cliques16", format!("{strat:?}")),
-            &strat,
-            |b, &s| b.iter(|| tree_match_with(black_box(&arities), &m, s)),
-        );
+        b.iter("grouping_strategy", &format!("cliques16/{strat:?}"), || {
+            tree_match_with(black_box(&arities), &m, strat);
+        });
     }
-    g.finish();
 }
 
-fn bench_constrained(c: &mut Criterion) {
-    let mut g = c.benchmark_group("place_constrained");
+fn bench_constrained(b: &mut Bench) {
     for &np in &[48usize, 96, 192] {
         let machine = Machine::plafrim(np / 24);
         let placement = Placement::cyclic_by_level(&machine.tree, np, machine.node_level);
         let slots: Vec<usize> = (0..np).map(|r| placement.core_of(r)).collect();
         let m = clustered_matrix(np, 8);
-        g.bench_with_input(BenchmarkId::from_parameter(np), &np, |b, _| {
-            b.iter(|| place_constrained(black_box(&machine), &slots, &m));
+        b.iter("place_constrained", &np.to_string(), || {
+            place_constrained(black_box(&machine), &slots, &m);
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_tree_match, bench_strategies, bench_constrained);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("treematch");
+    bench_tree_match(&mut b);
+    bench_strategies(&mut b);
+    bench_constrained(&mut b);
+    b.finish();
+}

@@ -18,8 +18,7 @@ use mim_apps::output::{results_dir, write_csv};
 use mim_core::{Flags, Monitoring};
 use mim_mpisim::{SrcSel, TagSel, Universe, UniverseConfig};
 use mim_topology::{Machine, Placement};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mim_util::rng::Rng;
 
 const SAMPLE_MS: f64 = 10.0;
 
@@ -46,7 +45,7 @@ fn main() {
             mon.finalize(rank).unwrap();
             return Vec::new();
         }
-        let mut rng = StdRng::seed_from_u64(2019);
+        let mut rng = Rng::seed_from_u64(2019);
         let mut out: Vec<(f64, u64)> = Vec::new();
         let mut sample = |mon: &Monitoring, now_s: f64| {
             mon.suspend(id).unwrap();
@@ -59,7 +58,7 @@ fn main() {
             mon.resume(id).unwrap();
         };
         for _ in 0..messages {
-            let size = rng.gen_range(1_000..=800_000);
+            let size = rng.gen_range(1_000usize..=800_000);
             rank.send(&world, 1, 0, &vec![0u8; size]);
             let sleep_ms: f64 = rng.gen_range(50.0..1000.0);
             // Sleep in sampling-period slices, probing after each.
@@ -123,7 +122,11 @@ fn main() {
     println!("Fig 2/3 — HW counters vs introspection monitoring");
     println!("  duration            : {horizon_s:.1} s of virtual time, {messages} messages");
     println!("  NIC counter total   : {:.3} MB ({} events)", hw_cum as f64 / 1e6, nic_log.len());
-    println!("  introspection total : {:.3} MB ({} samples)", mon_cum as f64 / 1e6, mon_samples.len());
+    println!(
+        "  introspection total : {:.3} MB ({} samples)",
+        mon_cum as f64 / 1e6,
+        mon_samples.len()
+    );
     let diff = (hw_cum as f64 - mon_cum as f64).abs() / mon_cum.max(1) as f64 * 100.0;
     println!("  relative difference : {diff:.3}% (paper: the two curves coincide)");
     println!("  CSVs: {}/fig2_timeseries.csv, fig3_cumulative.csv", dir.display());

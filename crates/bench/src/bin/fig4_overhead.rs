@@ -88,9 +88,16 @@ fn main() {
         }
     }
     let dir = results_dir();
-    write_csv(&dir.join("fig4_overhead.csv"), "np,size_bytes,diff_us,ci95_us,per_msg_ns,significant", &csv);
+    write_csv(
+        &dir.join("fig4_overhead.csv"),
+        "np,size_bytes,diff_us,ci95_us,per_msg_ns,significant",
+        &csv,
+    );
     println!("Fig 4 — monitoring overhead (wall clock, {reps} repetitions per point)");
-    println!("{}", ascii_table(&["NP", "size", "overhead", "95% CI", "per msg", "significant?"], &rows));
+    println!(
+        "{}",
+        ascii_table(&["NP", "size", "overhead", "95% CI", "per msg", "significant?"], &rows)
+    );
     println!(
         "paper: \"most of the time the overhead is not statistically significant; \
          in the worst case, less than 5 us\""

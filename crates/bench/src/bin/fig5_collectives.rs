@@ -13,8 +13,16 @@ use mim_topology::Machine;
 fn main() {
     let nps = mim_bench::sweep(&[(48usize, 2usize), (96, 4), (192, 8)], &[(48, 2)]);
     let bufs = mim_bench::sweep(
-        &[1_000_000u64, 2_000_000, 5_000_000, 10_000_000, 20_000_000, 50_000_000, 100_000_000,
-          200_000_000],
+        &[
+            1_000_000u64,
+            2_000_000,
+            5_000_000,
+            10_000_000,
+            20_000_000,
+            50_000_000,
+            100_000_000,
+            200_000_000,
+        ],
         &[1_000_000, 200_000_000],
     );
     let mut csv = Vec::new();

@@ -16,10 +16,7 @@ use mim_topology::Machine;
 
 fn main() {
     let nps = mim_bench::sweep(&[(48usize, 2usize), (96, 4), (192, 8)], &[(48, 2)]);
-    let bufs = mim_bench::sweep(
-        &[1u64, 10, 100, 1_000, 10_000, 100_000],
-        &[10, 100_000],
-    );
+    let bufs = mim_bench::sweep(&[1u64, 10, 100, 1_000, 10_000, 100_000], &[10, 100_000]);
     let iters: Vec<u64> = vec![1, 10, 100, 1_000, 10_000];
     let group_size = 12;
     let dir = results_dir();
@@ -37,12 +34,7 @@ fn main() {
             for (g, &b) in gains.iter().zip(&bufs) {
                 let gain = g.gain_percent(it);
                 row.push(gain);
-                csv.push(vec![
-                    np.to_string(),
-                    b.to_string(),
-                    it.to_string(),
-                    format!("{gain:.1}"),
-                ]);
+                csv.push(vec![np.to_string(), b.to_string(), it.to_string(), format!("{gain:.1}")]);
             }
             matrix.push(row);
         }
@@ -53,12 +45,14 @@ fn main() {
         );
         println!("\nFig 6 — NP = {np} ({nodes} nodes), groups of {group_size}, gain %:");
         let row_labels: Vec<String> = iters.iter().map(u64::to_string).collect();
-        let col_labels: Vec<String> = bufs.iter().map(|b| format!("1e{}", (*b as f64).log10() as u32)).collect();
+        let col_labels: Vec<String> =
+            bufs.iter().map(|b| format!("1e{}", (*b as f64).log10() as u32)).collect();
         println!("{}", ascii_heatmap(&row_labels, &col_labels, &matrix));
     }
     println!(
         "paper: negative (red) at few iterations / small buffers, up to ~95% gain\n\
          (almost 2x) once the buffer or iteration count is large.\n\
-         CSVs in {}", dir.display()
+         CSVs in {}",
+        dir.display()
     );
 }

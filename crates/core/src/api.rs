@@ -175,8 +175,7 @@ impl Monitoring {
             for m in live {
                 // With ALL, skip still-active sessions rather than failing
                 // half-way (specific ids keep the strict error).
-                let suspended =
-                    self.state.borrow().get(m)?.state == SessionState::Suspended;
+                let suspended = self.state.borrow().get(m)?.state == SessionState::Suspended;
                 if suspended {
                     self.state.borrow_mut().remove(m)?;
                 }

@@ -295,11 +295,8 @@ mod tests {
             assert_eq!(MPI_M_finalize(rank), MPI_SUCCESS);
         });
         let counts = std::fs::read_to_string(format!("{base}_counts.0.prof")).unwrap();
-        let total: u64 = counts
-            .lines()
-            .flat_map(|l| l.split(','))
-            .map(|v| v.parse::<u64>().unwrap())
-            .sum();
+        let total: u64 =
+            counts.lines().flat_map(|l| l.split(',')).map(|v| v.parse::<u64>().unwrap()).sum();
         assert_eq!(total, 8, "4-rank dissemination barrier: 2 rounds x 4 messages");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -319,7 +316,10 @@ mod tests {
             assert_eq!(MPI_M_start(rank, &world, &mut id), MPI_SUCCESS);
             // Data access while active / double suspend.
             let (mut c, mut s) = ([0u64; 2], [0u64; 2]);
-            assert_eq!(MPI_M_get_data(id, &mut c, &mut s, MPI_M_ALL_COMM), MPI_M_SESSION_NOT_SUSPENDED);
+            assert_eq!(
+                MPI_M_get_data(id, &mut c, &mut s, MPI_M_ALL_COMM),
+                MPI_M_SESSION_NOT_SUSPENDED
+            );
             assert_eq!(MPI_M_continue(id), MPI_M_MULTIPLE_CALL);
             // Finalize with an active session.
             assert_eq!(MPI_M_finalize(rank), MPI_M_SESSION_STILL_ACTIVE);

@@ -180,10 +180,7 @@ impl SessionTable {
 
     /// True when any session is active.
     pub(crate) fn any_active(&self) -> bool {
-        self.slots
-            .iter()
-            .flatten()
-            .any(|s| s.state == SessionState::Active)
+        self.slots.iter().flatten().any(|s| s.state == SessionState::Active)
     }
 
     /// Record an event into every live session (each filters itself).

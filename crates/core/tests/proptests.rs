@@ -2,14 +2,14 @@
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use mim_core::{Flags, MonError, Monitoring, Msid};
 use mim_mpisim::{MsgKind, SrcSel, TagSel, Universe, UniverseConfig};
 use mim_topology::{Machine, Placement};
+use mim_util::prop::Gen;
+use mim_util::props;
 
-fn arb_flags() -> impl Strategy<Value = Flags> {
-    prop::sample::select(vec![
+fn arb_flags(g: &mut Gen) -> Flags {
+    *g.choose(&[
         Flags::P2P_ONLY,
         Flags::COLL_ONLY,
         Flags::OSC_ONLY,
@@ -20,37 +20,32 @@ fn arb_flags() -> impl Strategy<Value = Flags> {
     ])
 }
 
-proptest! {
-    #[test]
-    fn flags_union_behaviour(f in arb_flags(), g in arb_flags()) {
-        let u = f | g;
-        prop_assert!(u.contains(f) && u.contains(g));
+props! {
+    fn flags_union_behaviour(g) {
+        let (f, gl) = (arb_flags(g), arb_flags(g));
+        let u = f | gl;
+        assert!(u.contains(f) && u.contains(gl));
         for kind in [MsgKind::P2pUser, MsgKind::Collective, MsgKind::OneSided] {
-            prop_assert_eq!(
+            assert_eq!(
                 u.includes_kind(kind),
-                f.includes_kind(kind) || g.includes_kind(kind)
+                f.includes_kind(kind) || gl.includes_kind(kind)
             );
         }
     }
 
-    #[test]
-    fn msid_never_collides_with_all(slot in 0u32..1000, generation in any::<u32>()) {
+    fn msid_never_collides_with_all(g) {
         // Internal representation detail surfaced through equality with ALL.
-        let _ = (slot, generation);
-        prop_assert!(Msid::ALL == Msid::ALL);
+        let _ = (g.gen_range(0u32..1000), g.any_u32());
+        assert!(Msid::ALL == Msid::ALL);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
+props! {
     /// Random message streams: the session's row must equal a naive model
     /// of "bytes/messages I sent to each member while active".
-    #[test]
     #[allow(clippy::needless_range_loop)] // indices address several arrays at once
-    fn session_rows_match_naive_model(
-        msgs in prop::collection::vec((1usize..4, 1u64..5000, any::<bool>()), 1..25)
-    ) {
+    fn session_rows_match_naive_model(g, cases = 10) {
+        let msgs = g.vec(1..25, |g| (g.gen_range(1usize..4), g.gen_range(1u64..5000), g.any_bool()));
         let n = 4;
         let msgs = Arc::new(msgs);
         let u = Universe::new(UniverseConfig::new(Machine::cluster(2, 1, 4), Placement::packed(n)));
@@ -108,15 +103,16 @@ proptest! {
         });
         let (row, expect) = &rows[0];
         for d in 0..n {
-            prop_assert_eq!(row.counts[d], expect[d].0, "count to {}", d);
-            prop_assert_eq!(row.sizes[d], expect[d].1, "bytes to {}", d);
+            assert_eq!(row.counts[d], expect[d].0, "count to {}", d);
+            assert_eq!(row.sizes[d], expect[d].1, "bytes to {}", d);
         }
     }
 
     /// Reset at arbitrary points always leaves exactly the post-reset
     /// traffic in the session.
-    #[test]
-    fn reset_splits_the_stream(before in 0usize..10, after in 0usize..10) {
+    fn reset_splits_the_stream(g, cases = 10) {
+        let before = g.gen_range(0usize..10);
+        let after = g.gen_range(0usize..10);
         let u = Universe::new(UniverseConfig::new(Machine::cluster(1, 1, 2), Placement::packed(2)));
         u.launch(move |rank| {
             let world = rank.comm_world();
@@ -153,8 +149,8 @@ proptest! {
     /// Lifecycle fuzz: random op sequences never corrupt the table — every
     /// call returns either Ok or a documented error, and a final cleanup
     /// always succeeds.
-    #[test]
-    fn lifecycle_fuzz_is_total(ops in prop::collection::vec(0u8..5, 1..40)) {
+    fn lifecycle_fuzz_is_total(g, cases = 10) {
+        let ops = g.vec(1..40, |g| g.gen_range(0u8..5));
         let u = Universe::new(UniverseConfig::new(Machine::cluster(1, 1, 1), Placement::packed(1)));
         u.launch(move |rank| {
             let world = rank.comm_world();

@@ -5,7 +5,7 @@
 //! MPI libraries never ship an 800 MB buffer as one message — they chunk it
 //! so tree levels pipeline, which changes how much a bad rank order hurts.
 
-use super::{combine, csend, crecv, vrank_of, world_of_vrank};
+use super::{combine, crecv, csend, vrank_of, world_of_vrank};
 use crate::comm::Comm;
 use crate::datatype::Scalar;
 use crate::runtime::Rank;
@@ -21,7 +21,10 @@ pub fn reduce_scatter_block<T: Scalar>(
     op: impl Fn(T, T) -> T,
 ) -> Vec<T> {
     let n = comm.size();
-    assert!(data.len().is_multiple_of(n), "reduce_scatter buffer not divisible by communicator size");
+    assert!(
+        data.len().is_multiple_of(n),
+        "reduce_scatter buffer not divisible by communicator size"
+    );
     let block = data.len() / n;
     let me = comm.rank();
     if n == 1 {
@@ -296,10 +299,7 @@ mod tests {
         };
         let chunked = time_with_seg(items / 8);
         let whole = time_with_seg(items + 1);
-        assert!(
-            chunked < whole,
-            "pipelining should help: chunked {chunked} vs whole {whole}"
-        );
+        assert!(chunked < whole, "pipelining should help: chunked {chunked} vs whole {whole}");
     }
 
     #[test]

@@ -33,7 +33,14 @@ use crate::envelope::{Ctx, MsgKind, Payload};
 use crate::runtime::{Rank, SrcSel, TagSel};
 
 fn csend<T: Scalar>(rank: &Rank, comm: &Comm, dst: usize, tag: u32, data: &[T]) {
-    rank.wire_send(comm, dst, tag, Ctx::Coll, MsgKind::Collective, Payload::Bytes(T::to_bytes(data)));
+    rank.wire_send(
+        comm,
+        dst,
+        tag,
+        Ctx::Coll,
+        MsgKind::Collective,
+        Payload::Bytes(T::to_bytes(data)),
+    );
 }
 
 fn crecv<T: Scalar>(rank: &Rank, comm: &Comm, src: usize, tag: u32) -> Vec<T> {

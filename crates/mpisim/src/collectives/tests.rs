@@ -22,11 +22,7 @@ fn bcast_binomial_delivers_everywhere() {
             let u = universe(n);
             u.launch(|rank| {
                 let world = rank.comm_world();
-                let mut data = if world.rank() == root {
-                    vec![42i64, 43, 44]
-                } else {
-                    Vec::new()
-                };
+                let mut data = if world.rank() == root { vec![42i64, 43, 44] } else { Vec::new() };
                 bcast_binomial(rank, &world, root, &mut data);
                 assert_eq!(data, vec![42, 43, 44], "n={n} root={root}");
             });
@@ -41,8 +37,7 @@ fn bcast_binary_delivers_everywhere() {
             let u = universe(n);
             u.launch(|rank| {
                 let world = rank.comm_world();
-                let mut data =
-                    if world.rank() == root { vec![7u32; 10] } else { Vec::new() };
+                let mut data = if world.rank() == root { vec![7u32; 10] } else { Vec::new() };
                 bcast_binary(rank, &world, root, &mut data);
                 assert_eq!(data, vec![7u32; 10], "n={n} root={root}");
             });
@@ -122,8 +117,7 @@ fn gather_concatenates_in_rank_order() {
             let me = world.rank() as u16;
             let out = gather_linear(rank, &world, root, &[me, me]);
             if world.rank() == root {
-                let expect: Vec<u16> =
-                    (0..n as u16).flat_map(|r| [r, r]).collect();
+                let expect: Vec<u16> = (0..n as u16).flat_map(|r| [r, r]).collect();
                 assert_eq!(out, Some(expect), "n={n}");
             } else {
                 assert!(out.is_none());
@@ -139,8 +133,8 @@ fn scatter_distributes_chunks() {
         u.launch(|rank| {
             let world = rank.comm_world();
             let root = 0;
-            let data: Option<Vec<i32>> = (world.rank() == root)
-                .then(|| (0..(3 * n) as i32).collect());
+            let data: Option<Vec<i32>> =
+                (world.rank() == root).then(|| (0..(3 * n) as i32).collect());
             let mine = scatter_linear(rank, &world, root, data.as_deref());
             let me = world.rank() as i32;
             assert_eq!(mine, vec![3 * me, 3 * me + 1, 3 * me + 2], "n={n}");
@@ -156,8 +150,7 @@ fn allgather_ring_orders_blocks() {
             let world = rank.comm_world();
             let me = world.rank() as u64;
             let out = allgather_ring(rank, &world, &[me * 10, me * 10 + 1]);
-            let expect: Vec<u64> =
-                (0..n as u64).flat_map(|r| [r * 10, r * 10 + 1]).collect();
+            let expect: Vec<u64> = (0..n as u64).flat_map(|r| [r * 10, r * 10 + 1]).collect();
             assert_eq!(out, expect, "n={n}");
         });
     }

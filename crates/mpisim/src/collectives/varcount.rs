@@ -149,12 +149,8 @@ mod tests {
                 let world = rank.comm_world();
                 let storage: Vec<Vec<u32>> = (0..n).map(contribution).collect();
                 let chunks: Vec<&[u32]> = storage.iter().map(Vec::as_slice).collect();
-                let mine = scatterv(
-                    rank,
-                    &world,
-                    0,
-                    (world.rank() == 0).then_some(chunks.as_slice()),
-                );
+                let mine =
+                    scatterv(rank, &world, 0, (world.rank() == 0).then_some(chunks.as_slice()));
                 assert_eq!(mine, contribution(world.rank()), "n={n}");
             });
         }

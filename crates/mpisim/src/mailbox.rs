@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError};
+use mim_util::channel::{Receiver, RecvTimeoutError};
 
 use crate::envelope::{Ctx, Envelope};
 
@@ -121,7 +121,7 @@ impl Mailbox {
 mod tests {
     use super::*;
     use crate::envelope::{MsgKind, Payload};
-    use crossbeam::channel::unbounded;
+    use mim_util::channel::unbounded;
 
     fn env(src: usize, comm: u64, ctx: Ctx, tag: u32) -> Envelope {
         Envelope {

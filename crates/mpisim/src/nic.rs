@@ -12,7 +12,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use mim_util::sync::Mutex;
 
 use crate::envelope::MsgKind;
 use crate::pml::{PmlEvent, PmlHook};

@@ -85,7 +85,14 @@ impl Rank {
     /// Nonblocking typed send (completes immediately under the eager model,
     /// like a buffered `MPI_Ibsend`).
     pub fn isend<T: Scalar>(&self, comm: &Comm, dst: usize, tag: u32, data: &[T]) -> SendRequest {
-        self.wire_send(comm, dst, tag, Ctx::Pt2pt, MsgKind::P2pUser, Payload::Bytes(T::to_bytes(data)));
+        self.wire_send(
+            comm,
+            dst,
+            tag,
+            Ctx::Pt2pt,
+            MsgKind::P2pUser,
+            Payload::Bytes(T::to_bytes(data)),
+        );
         SendRequest { _private: () }
     }
 
@@ -222,8 +229,7 @@ mod tests {
                 .collect();
             let results = waitall_recv::<u16>(rank, reqs);
             let got: Vec<u16> = results.iter().map(|(v, _)| v[0]).collect();
-            let expect: Vec<u16> =
-                (0..4).filter(|&s| s != me).map(|s| s as u16).collect();
+            let expect: Vec<u16> = (0..4).filter(|&s| s != me).map(|s| s as u16).collect();
             assert_eq!(got, expect);
         });
     }
@@ -238,9 +244,7 @@ mod tests {
                 rank.send(&dup, 1, 3, &[1u8]);
                 rank.send(&world, 1, 3, &[2u8]);
             } else {
-                let (v, _) = rank
-                    .irecv(&world, SrcSel::Any, TagSel::Is(3))
-                    .wait::<u8>(rank);
+                let (v, _) = rank.irecv(&world, SrcSel::Any, TagSel::Is(3)).wait::<u8>(rank);
                 assert_eq!(v, vec![2]);
                 let (v, _) = rank.irecv(&dup, SrcSel::Any, TagSel::Is(3)).wait::<u8>(rank);
                 assert_eq!(v, vec![1]);

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mim_util::sync::Mutex;
 
 use crate::comm::Comm;
 use crate::datatype::Scalar;

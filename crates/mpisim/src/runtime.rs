@@ -7,8 +7,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use mim_util::channel::{unbounded, Receiver, Sender};
+use mim_util::sync::{Mutex, RwLock};
 
 use mim_topology::{Machine, Placement};
 
@@ -110,7 +110,6 @@ impl Shared {
     pub(crate) fn core_of(&self, world: usize) -> usize {
         self.cfg.placement.core_of(world)
     }
-
 }
 
 /// A simulated job: configuration, wiring and the simulated NIC.
@@ -186,8 +185,7 @@ impl Universe {
         F: Fn(&Rank) -> R + Sync,
         R: Send,
     {
-        let receivers =
-            self.receivers.lock().take().expect("a universe can only be launched once");
+        let receivers = self.receivers.lock().take().expect("a universe can only be launched once");
         let n = receivers.len();
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -576,10 +574,8 @@ impl Rank {
         let color_idx = distinct.binary_search(&color).unwrap();
         let id = base[0] as u64 + color_idx as u64;
         // Build my group, ordered by (key, parent rank).
-        let mut members: Vec<(i64, usize)> = (0..n)
-            .filter(|&r| all[2 * r] == color)
-            .map(|r| (all[2 * r + 1], r))
-            .collect();
+        let mut members: Vec<(i64, usize)> =
+            (0..n).filter(|&r| all[2 * r] == color).map(|r| (all[2 * r + 1], r)).collect();
         members.sort_unstable();
         let group: Vec<usize> = members.iter().map(|&(_, r)| comm.world_rank_of(r)).collect();
         let my_rank = members.iter().position(|&(_, r)| r == comm.rank()).unwrap();
@@ -726,8 +722,7 @@ mod tests {
             assert_eq!(sub.world_rank_of(sub.rank()), me);
             // Traffic on the sub-communicator stays inside it.
             let gathered = rank.allgather(&sub, &[me as u64]);
-            let expect: Vec<u64> =
-                (0..6).filter(|w| w % 2 == me % 2).map(|w| w as u64).collect();
+            let expect: Vec<u64> = (0..6).filter(|w| w % 2 == me % 2).map(|w| w as u64).collect();
             assert_eq!(gathered, expect);
         });
     }

@@ -395,9 +395,7 @@ fn simulate(
             }
             let ready = match schedule.steps[r][pc[r]] {
                 Step::Send { .. } => true,
-                Step::Recv { peer } => {
-                    channels.get(&(peer, r)).is_some_and(|q| !q.is_empty())
-                }
+                Step::Recv { peer } => channels.get(&(peer, r)).is_some_and(|q| !q.is_empty()),
             };
             if ready && next.is_none_or(|(t, _)| clock[r] < t) {
                 next = Some((clock[r], r));
@@ -569,10 +567,7 @@ mod tests {
             (0..16).map(|r| if r % 2 == 0 { r / 2 } else { 8 + r / 2 }).collect();
         let t_packed = makespan(&sched, &machine, &packed, 100.0, 50.0);
         let t_scattered = makespan(&sched, &machine, &scattered, 100.0, 50.0);
-        assert!(
-            t_packed < t_scattered,
-            "packed {t_packed} should beat scattered {t_scattered}"
-        );
+        assert!(t_packed < t_scattered, "packed {t_packed} should beat scattered {t_scattered}");
     }
 
     #[test]
@@ -646,10 +641,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "deadlock")]
     fn evaluator_detects_deadlock() {
-        let s = Schedule::new(vec![
-            vec![Step::Recv { peer: 1 }],
-            vec![Step::Recv { peer: 0 }],
-        ]);
+        let s = Schedule::new(vec![vec![Step::Recv { peer: 1 }], vec![Step::Recv { peer: 0 }]]);
         let machine = Machine::cluster(1, 1, 2);
         evaluate(&s, &machine, &[0, 1], 0.0, 0.0);
     }

@@ -1,33 +1,34 @@
 //! Property-based tests for the message-passing runtime.
 
-use proptest::prelude::*;
-
 use mim_mpisim::{schedule, Scalar, SrcSel, TagSel, Universe, UniverseConfig};
 use mim_topology::{Machine, Placement};
+use mim_util::props;
+use mim_util::rng::Rng;
 
-proptest! {
-    #[test]
-    fn scalar_roundtrip_f64(v in prop::collection::vec(any::<f64>(), 0..50)) {
+props! {
+    fn scalar_roundtrip_f64(g) {
+        let v = g.vec(0..50, |g| g.any_f64());
         let back = f64::from_bytes(&f64::to_bytes(&v));
-        prop_assert_eq!(back.len(), v.len());
+        assert_eq!(back.len(), v.len());
         for (a, b) in back.iter().zip(&v) {
-            prop_assert!(a == b || (a.is_nan() && b.is_nan()));
+            assert!(a == b || (a.is_nan() && b.is_nan()));
         }
     }
 
-    #[test]
-    fn scalar_roundtrip_i32(v in prop::collection::vec(any::<i32>(), 0..50)) {
-        prop_assert_eq!(i32::from_bytes(&i32::to_bytes(&v)), v);
+    fn scalar_roundtrip_i32(g) {
+        let v = g.vec(0..50, |g| g.any_i32());
+        assert_eq!(i32::from_bytes(&i32::to_bytes(&v)), v);
     }
 
-    #[test]
-    fn scalar_roundtrip_u64(v in prop::collection::vec(any::<u64>(), 0..50)) {
-        prop_assert_eq!(u64::from_bytes(&u64::to_bytes(&v)), v);
+    fn scalar_roundtrip_u64(g) {
+        let v = g.vec(0..50, |g| g.any_u64());
+        assert_eq!(u64::from_bytes(&u64::to_bytes(&v)), v);
     }
 
-    #[test]
-    fn schedules_validate_for_any_shape(n in 1usize..24, root_idx in any::<prop::sample::Index>(), bytes in 0u64..1_000_000) {
-        let root = root_idx.index(n);
+    fn schedules_validate_for_any_shape(g) {
+        let n = g.gen_range(1usize..24);
+        let root = g.index(n);
+        let bytes = g.gen_range(0u64..1_000_000);
         for s in [
             schedule::bcast_binomial(n, root, bytes),
             schedule::bcast_binary(n, root, bytes),
@@ -37,14 +38,15 @@ proptest! {
             schedule::barrier_dissemination(n),
             schedule::allreduce_recursive_doubling(n, bytes),
         ] {
-            prop_assert!(s.validate().is_ok());
+            assert!(s.validate().is_ok());
         }
-        prop_assert_eq!(schedule::bcast_binomial(n, root, bytes).total_messages(), n - 1);
-        prop_assert_eq!(schedule::reduce_binary(n, root, bytes).total_messages(), n - 1);
+        assert_eq!(schedule::bcast_binomial(n, root, bytes).total_messages(), n - 1);
+        assert_eq!(schedule::reduce_binary(n, root, bytes).total_messages(), n - 1);
     }
 
-    #[test]
-    fn contended_evaluation_never_faster(n in 2usize..12, bytes in 1u64..2_000_000) {
+    fn contended_evaluation_never_faster(g) {
+        let n = g.gen_range(2usize..12);
+        let bytes = g.gen_range(1u64..2_000_000);
         // Adding NIC contention can only delay completions.
         let machine = Machine::cluster(2, 1, 8);
         let cores: Vec<usize> = (0..n).map(|r| (r % 2) * 8 + r / 2).collect();
@@ -52,18 +54,17 @@ proptest! {
         let free = schedule::evaluate(&s, &machine, &cores, 100.0, 50.0);
         let cont = schedule::evaluate_contended(&s, &machine, &cores, 100.0, 50.0);
         for (f, c) in free.iter().zip(&cont) {
-            prop_assert!(c >= f, "contention made a rank faster: {c} < {f}");
+            assert!(c >= f, "contention made a rank faster: {c} < {f}");
         }
     }
 }
 
-proptest! {
-    // Thread-spawning cases are kept few but still property-driven.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn evaluator_matches_live_runtime(n in 2usize..8, bytes in 0u64..100_000, root_idx in any::<prop::sample::Index>()) {
-        let root = root_idx.index(n);
+// Thread-spawning cases are kept few but still property-driven.
+props! {
+    fn evaluator_matches_live_runtime(g, cases = 12) {
+        let n = g.gen_range(2usize..8);
+        let bytes = g.gen_range(0u64..100_000);
+        let root = g.index(n);
         let machine = Machine::cluster(2, 2, 2);
         let placement = Placement::packed(n);
         let cores: Vec<usize> = (0..n).map(|r| placement.core_of(r)).collect();
@@ -83,16 +84,16 @@ proptest! {
                 rank.now_ns()
             });
             for r in 0..n {
-                prop_assert!((got[r] - expect[r]).abs() < 1e-6,
+                assert!((got[r] - expect[r]).abs() < 1e-6,
                     "rank {r}: live {} vs analytic {}", got[r], expect[r]);
             }
         }
     }
 
-    #[test]
-    fn per_channel_fifo_is_preserved(tags in prop::collection::vec(0u32..3, 1..20)) {
+    fn per_channel_fifo_is_preserved(g, cases = 12) {
         // Rank 0 sends a numbered sequence with arbitrary tags; rank 1
         // receives with ANY_TAG and must see the numbers in order.
+        let tags = g.vec(1..20, |g| g.gen_range(0u32..3));
         let count = tags.len();
         let u = Universe::new(UniverseConfig::new(Machine::cluster(1, 1, 2), Placement::packed(2)));
         let ok = u.launch(move |rank| {
@@ -118,13 +119,13 @@ proptest! {
                 true
             }
         });
-        prop_assert!(ok.iter().all(|&b| b));
+        assert!(ok.iter().all(|&b| b));
     }
 
-    #[test]
-    fn collectives_correct_on_random_subcomm(n in 2usize..10, colors in prop::collection::vec(0i64..2, 2..10)) {
+    fn collectives_correct_on_random_subcomm(g, cases = 12) {
         // Split the world by arbitrary colors and allreduce within each part.
-        let colors = if colors.len() < n { return Ok(()); } else { colors };
+        let n = g.gen_range(2usize..10);
+        let colors: Vec<i64> = (0..n).map(|_| g.gen_range(0i64..2)).collect();
         let colors2 = colors.clone();
         let u = Universe::new(UniverseConfig::new(Machine::cluster(2, 1, 8), Placement::packed(n)));
         u.launch(move |rank| {
@@ -139,17 +140,16 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
+props! {
     /// Reduce-scatter equals a naive reduce-then-slice reference for random
     /// inputs, any rank count, any block size.
-    #[test]
-    fn reduce_scatter_matches_reference(n in 1usize..10, block in 1usize..5, seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
+    fn reduce_scatter_matches_reference(g, cases = 10) {
+        let n = g.gen_range(1usize..10);
+        let block = g.gen_range(1usize..5);
+        let seed = g.any_u64();
         let inputs: Vec<Vec<i64>> = {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            (0..n).map(|_| (0..n * block).map(|_| rng.gen_range(-100..100)).collect()).collect()
+            let mut rng = Rng::seed_from_u64(seed);
+            (0..n).map(|_| (0..n * block).map(|_| rng.gen_range(-100i64..100)).collect()).collect()
         };
         let expect: Vec<i64> = (0..n * block)
             .map(|i| inputs.iter().map(|v| v[i]).sum())
@@ -165,8 +165,9 @@ proptest! {
     }
 
     /// Scan equals the prefix sums of the contributions.
-    #[test]
-    fn scan_matches_prefix_sums(n in 1usize..12, vals in prop::collection::vec(-50i64..50, 12)) {
+    fn scan_matches_prefix_sums(g, cases = 10) {
+        let n = g.gen_range(1usize..12);
+        let vals = g.vec(12..12, |g| g.gen_range(-50i64..50));
         let vals2 = vals.clone();
         let u = Universe::new(UniverseConfig::new(Machine::cluster(2, 1, 8), Placement::packed(n)));
         u.launch(move |rank| {
@@ -179,8 +180,10 @@ proptest! {
     }
 
     /// Segmented broadcast delivers identical data for any segment size.
-    #[test]
-    fn segmented_bcast_any_segmentation(n in 1usize..12, seg in 1usize..40, len in 0usize..60) {
+    fn segmented_bcast_any_segmentation(g, cases = 10) {
+        let n = g.gen_range(1usize..12);
+        let seg = g.gen_range(1usize..40);
+        let len = g.gen_range(0usize..60);
         let u = Universe::new(UniverseConfig::new(Machine::cluster(2, 1, 8), Placement::packed(n)));
         u.launch(move |rank| {
             let world = rank.comm_world();

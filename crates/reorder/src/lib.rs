@@ -82,9 +82,8 @@ pub fn monitored_reorder(
     monitored(comm);
     mon.suspend(id).expect("suspend monitoring session");
     let t0 = rank.now_ns();
-    let gathered = mon
-        .rootgather_data(rank, id, 0, flags)
-        .expect("gather monitored matrix at rank 0");
+    let gathered =
+        mon.rootgather_data(rank, id, 0, flags).expect("gather monitored matrix at rank 0");
     let n = comm.size();
     let mut k_buf: Vec<u64> = vec![0; n];
     let mut mapping_wall_s = 0.0;
@@ -144,8 +143,7 @@ pub fn redistribute<T: mim_mpisim::Scalar>(
     }
     const REDIST_TAG: u32 = 0x00F1_0000;
     rank.send(original_comm, inv[me], REDIST_TAG, &data);
-    let (new_data, _) =
-        rank.recv::<T>(original_comm, SrcSel::Rank(k[me]), TagSel::Is(REDIST_TAG));
+    let (new_data, _) = rank.recv::<T>(original_comm, SrcSel::Rank(k[me]), TagSel::Is(REDIST_TAG));
     new_data
 }
 
@@ -212,10 +210,9 @@ mod tests {
                 let mon = Monitoring::init(rank).unwrap();
                 let bytes = 4 << 20;
                 // Monitor one iteration and reorder.
-                let outcome =
-                    monitored_reorder(rank, &mon, &world, Flags::P2P_ONLY, |comm| {
-                        pair_exchange(rank, comm, bytes)
-                    });
+                let outcome = monitored_reorder(rank, &mon, &world, Flags::P2P_ONLY, |comm| {
+                    pair_exchange(rank, comm, bytes)
+                });
                 // Time one iteration on the original communicator...
                 rank.barrier(&world);
                 let t0 = rank.now_ns();
@@ -305,5 +302,4 @@ mod tests {
         // Every assigned core comes from the available set.
         assert!(p.as_slice().iter().all(|c| available.contains(c)));
     }
-
 }

@@ -60,10 +60,7 @@ impl Machine {
         }
         let mut dims = [0usize; 3];
         for (d, p) in dims.iter_mut().zip(&parts) {
-            *d = p
-                .trim()
-                .parse()
-                .map_err(|e| format!("bad dimension {p:?} in {spec:?}: {e}"))?;
+            *d = p.trim().parse().map_err(|e| format!("bad dimension {p:?} in {spec:?}: {e}"))?;
             if *d == 0 {
                 return Err(format!("zero dimension in {spec:?}"));
             }

@@ -1,7 +1,6 @@
 //! Process → core placements.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use mim_util::rng::Rng;
 
 use crate::tree::TopologyTree;
 
@@ -70,8 +69,8 @@ impl Placement {
     pub fn random(tree: &TopologyTree, n: usize, seed: u64) -> Self {
         assert!(n <= tree.num_leaves(), "more processes than cores");
         let mut cores: Vec<usize> = (0..tree.num_leaves()).collect();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        cores.shuffle(&mut rng);
+        let mut rng = Rng::seed_from_u64(seed);
+        rng.shuffle(&mut cores);
         cores.truncate(n);
         Self { proc_to_core: cores }
     }

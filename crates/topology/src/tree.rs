@@ -92,9 +92,7 @@ impl TopologyTree {
     /// The per-level path of a leaf: index of the child taken at each level.
     pub fn leaf_path(&self, leaf: usize) -> Vec<usize> {
         debug_assert!(leaf < self.num_leaves());
-        (0..self.depth())
-            .map(|d| (leaf / self.subtree_leaves[d + 1]) % self.arities[d])
-            .collect()
+        (0..self.depth()).map(|d| (leaf / self.subtree_leaves[d + 1]) % self.arities[d]).collect()
     }
 
     /// True when both leaves sit under the same subtree rooted at `level`.
@@ -164,8 +162,7 @@ mod tests {
         for leaf in 0..t.num_leaves() {
             let path = t.leaf_path(leaf);
             assert_eq!(path.len(), 3);
-            let rebuilt =
-                path[0] * t.subtree_leaves(1) + path[1] * t.subtree_leaves(2) + path[2];
+            let rebuilt = path[0] * t.subtree_leaves(1) + path[1] * t.subtree_leaves(2) + path[2];
             assert_eq!(rebuilt, leaf);
         }
     }

@@ -1,68 +1,67 @@
 //! Property-based tests for the topology primitives.
 
-use proptest::prelude::*;
-
 use mim_topology::{inverse_permutation, CommMatrix, Placement, TopologyTree};
+use mim_util::prop::Gen;
+use mim_util::props;
 
-fn arb_arities() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..6, 1..4)
+fn arb_tree(g: &mut Gen) -> TopologyTree {
+    let depth = g.gen_range(1usize..4);
+    TopologyTree::new((0..depth).map(|_| g.gen_range(1usize..6)).collect())
 }
 
-fn arb_tree() -> impl Strategy<Value = TopologyTree> {
-    arb_arities().prop_map(TopologyTree::new)
+fn arb_entries(g: &mut Gen, n: usize, max: usize) -> Vec<(usize, usize, u64)> {
+    g.vec(0..max, |g| (g.index(n), g.index(n), g.gen_range(1u64..1000)))
 }
 
-proptest! {
-    #[test]
-    fn lca_is_symmetric_and_bounded(tree in arb_tree(), a in any::<prop::sample::Index>(), b in any::<prop::sample::Index>()) {
+props! {
+    fn lca_is_symmetric_and_bounded(g) {
+        let tree = arb_tree(g);
         let n = tree.num_leaves();
-        let (a, b) = (a.index(n), b.index(n));
+        let (a, b) = (g.index(n), g.index(n));
         let lca = tree.lca_depth(a, b);
-        prop_assert_eq!(lca, tree.lca_depth(b, a));
-        prop_assert!(lca <= tree.depth());
-        prop_assert_eq!(lca == tree.depth(), a == b);
+        assert_eq!(lca, tree.lca_depth(b, a));
+        assert!(lca <= tree.depth());
+        assert_eq!(lca == tree.depth(), a == b);
     }
 
-    #[test]
-    fn distance_is_an_ultrametric(tree in arb_tree(),
-                                  a in any::<prop::sample::Index>(),
-                                  b in any::<prop::sample::Index>(),
-                                  c in any::<prop::sample::Index>()) {
+    fn distance_is_an_ultrametric(g) {
+        let tree = arb_tree(g);
         let n = tree.num_leaves();
-        let (a, b, c) = (a.index(n), b.index(n), c.index(n));
+        let (a, b, c) = (g.index(n), g.index(n), g.index(n));
         let (dab, dbc, dac) = (tree.distance(a, b), tree.distance(b, c), tree.distance(a, c));
         // Tree level distance satisfies the strong triangle inequality.
-        prop_assert!(dac <= dab.max(dbc), "d({a},{c})={dac} > max({dab},{dbc})");
-        prop_assert_eq!(dab % 2, 0);
+        assert!(dac <= dab.max(dbc), "d({a},{c})={dac} > max({dab},{dbc})");
+        assert_eq!(dab % 2, 0);
     }
 
-    #[test]
-    fn ancestors_nest(tree in arb_tree(), leaf in any::<prop::sample::Index>()) {
-        let leaf = leaf.index(tree.num_leaves());
+    fn ancestors_nest(g) {
+        let tree = arb_tree(g);
+        let leaf = g.index(tree.num_leaves());
         // Walking up the tree, ancestor ids shrink consistently with level
         // sizes, and leaves under the same ancestor stay grouped.
         for level in 0..tree.depth() {
             let anc = tree.ancestor(leaf, level);
-            prop_assert!(anc < tree.nodes_at_level(level));
+            assert!(anc < tree.nodes_at_level(level));
             let child = tree.ancestor(leaf, level + 1);
             let per = tree.subtree_leaves(level) / tree.subtree_leaves(level + 1);
-            prop_assert_eq!(child / per, anc);
+            assert_eq!(child / per, anc);
         }
     }
 
-    #[test]
-    fn random_placement_is_injective(tree in arb_tree(), seed in any::<u64>()) {
+    fn random_placement_is_injective(g) {
+        let tree = arb_tree(g);
+        let seed = g.any_u64();
         let n = (tree.num_leaves() / 2).max(1);
         let p = Placement::random(&tree, n, seed);
         let mut cores: Vec<usize> = p.as_slice().to_vec();
         cores.sort_unstable();
         cores.dedup();
-        prop_assert_eq!(cores.len(), n);
-        prop_assert!(p.as_slice().iter().all(|&c| c < tree.num_leaves()));
+        assert_eq!(cores.len(), n);
+        assert!(p.as_slice().iter().all(|&c| c < tree.num_leaves()));
     }
 
-    #[test]
-    fn cyclic_placement_spreads_evenly(tree in arb_tree()) {
+    fn cyclic_placement_spreads_evenly(g) {
+        let tree = arb_tree(g);
         let level = 1.min(tree.depth());
         let groups = tree.nodes_at_level(level);
         let n = groups * 2.min(tree.subtree_leaves(level));
@@ -72,46 +71,46 @@ proptest! {
             for i in 0..n {
                 per_group[tree.ancestor(p.core_of(i), level)] += 1;
             }
-            prop_assert!(per_group.iter().all(|&c| c == n / groups));
+            assert!(per_group.iter().all(|&c| c == n / groups));
         }
     }
 
-    #[test]
-    fn permutation_inverse_roundtrip(perm in prop::sample::subsequence((0..12usize).collect::<Vec<_>>(), 12).prop_shuffle()) {
+    fn permutation_inverse_roundtrip(g) {
+        let perm = g.permutation(12);
         let inv = inverse_permutation(&perm);
         let back = inverse_permutation(&inv);
-        prop_assert_eq!(back, perm);
+        assert_eq!(back, perm);
     }
 
-    #[test]
-    fn matrix_permutation_preserves_mass(entries in prop::collection::vec((0usize..6, 0usize..6, 1u64..1000), 0..20),
-                                         perm in Just((0..6usize).collect::<Vec<_>>()).prop_shuffle()) {
+    fn matrix_permutation_preserves_mass(g) {
+        let entries = arb_entries(g, 6, 20);
+        let perm = g.permutation(6);
         let mut m = CommMatrix::zeros(6);
-        for (i, j, w) in entries {
+        for &(i, j, w) in &entries {
             m.add(i, j, w);
         }
         let p = m.permuted(&perm);
-        prop_assert_eq!(p.total(), m.total());
-        prop_assert_eq!(p.nnz(), m.nnz());
+        assert_eq!(p.total(), m.total());
+        assert_eq!(p.nnz(), m.nnz());
         // Spot-check an entry mapping.
         for i in 0..6 {
             for j in 0..6 {
-                prop_assert_eq!(p.get(perm[i], perm[j]), m.get(i, j));
+                assert_eq!(p.get(perm[i], perm[j]), m.get(i, j));
             }
         }
     }
 
-    #[test]
-    fn symmetrized_total_doubles(entries in prop::collection::vec((0usize..5, 0usize..5, 1u64..100), 0..15)) {
+    fn symmetrized_total_doubles(g) {
+        let entries = arb_entries(g, 5, 15);
         let mut m = CommMatrix::zeros(5);
-        for (i, j, w) in entries {
+        for &(i, j, w) in &entries {
             m.add(i, j, w);
         }
         let s = m.symmetrized();
-        prop_assert_eq!(s.total(), 2 * m.total());
+        assert_eq!(s.total(), 2 * m.total());
         for i in 0..5 {
             for j in 0..5 {
-                prop_assert_eq!(s.get(i, j), s.get(j, i));
+                assert_eq!(s.get(i, j), s.get(j, i));
             }
         }
     }

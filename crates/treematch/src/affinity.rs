@@ -102,10 +102,7 @@ impl Affinity for SparseAffinity {
     }
 
     fn weight(&self, i: usize, j: usize) -> u64 {
-        self.adj[i]
-            .binary_search_by_key(&j, |&(k, _)| k)
-            .map(|pos| self.adj[i][pos].1)
-            .unwrap_or(0)
+        self.adj[i].binary_search_by_key(&j, |&(k, _)| k).map(|pos| self.adj[i][pos].1).unwrap_or(0)
     }
 
     fn pairs(&self) -> Vec<(usize, usize, u64)> {

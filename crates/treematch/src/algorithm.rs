@@ -196,8 +196,7 @@ mod tests {
         assert_injective(&sigma, 8);
         let identity: Vec<usize> = (0..8).collect();
         assert!(
-            mapping_distance_cost(&tree, &sigma, &m)
-                < mapping_distance_cost(&tree, &identity, &m)
+            mapping_distance_cost(&tree, &sigma, &m) < mapping_distance_cost(&tree, &identity, &m)
         );
     }
 
@@ -223,10 +222,7 @@ mod tests {
         let tree = TopologyTree::new(arities.to_vec());
         let g = tree_match_with(&arities, &m, GroupingStrategy::Greedy);
         let e = tree_match_with(&arities, &m, GroupingStrategy::Exhaustive);
-        assert_eq!(
-            mapping_distance_cost(&tree, &g, &m),
-            mapping_distance_cost(&tree, &e, &m),
-        );
+        assert_eq!(mapping_distance_cost(&tree, &g, &m), mapping_distance_cost(&tree, &e, &m),);
     }
 
     #[test]
@@ -248,10 +244,7 @@ mod tests {
         let tree = TopologyTree::new(arities.to_vec());
         let g = tree_match_with(&arities, &aff, GroupingStrategy::Greedy);
         let e = tree_match_with(&arities, &aff, GroupingStrategy::Exhaustive);
-        assert!(
-            mapping_distance_cost(&tree, &e, &aff)
-                <= mapping_distance_cost(&tree, &g, &aff)
-        );
+        assert!(mapping_distance_cost(&tree, &e, &aff) <= mapping_distance_cost(&tree, &g, &aff));
     }
 
     #[test]

@@ -233,7 +233,7 @@ mod tests {
     #[test]
     fn improves_on_identity_for_scattered_slots() {
         let machine = Machine::plafrim(2); // 48 cores
-        // Random-ish slot set across both nodes.
+                                           // Random-ish slot set across both nodes.
         let slots = vec![0, 3, 7, 11, 25, 29, 33, 40];
         let mut m = CommMatrix::zeros(8);
         // Two cliques interleaved over the slot order.

@@ -12,27 +12,15 @@ pub fn mapping_distance_cost(
     cores: &[usize],
     affinity: &impl Affinity,
 ) -> u64 {
-    affinity
-        .pairs()
-        .into_iter()
-        .map(|(i, j, w)| w * tree.distance(cores[i], cores[j]) as u64)
-        .sum()
+    affinity.pairs().into_iter().map(|(i, j, w)| w * tree.distance(cores[i], cores[j]) as u64).sum()
 }
 
 /// Hockney-model cost of a mapping in nanoseconds:
 /// `Σ α(lca) + β(lca) · w(i, j)` over unordered pairs, treating the affinity
 /// weight as bytes.  A physically meaningful variant of the objective, used
 /// to compare placements in experiment output.
-pub fn mapping_comm_time_ns(
-    machine: &Machine,
-    cores: &[usize],
-    affinity: &impl Affinity,
-) -> f64 {
-    affinity
-        .pairs()
-        .into_iter()
-        .map(|(i, j, w)| machine.message_ns(cores[i], cores[j], w))
-        .sum()
+pub fn mapping_comm_time_ns(machine: &Machine, cores: &[usize], affinity: &impl Affinity) -> f64 {
+    affinity.pairs().into_iter().map(|(i, j, w)| machine.message_ns(cores[i], cores[j], w)).sum()
 }
 
 #[cfg(test)]

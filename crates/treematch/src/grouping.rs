@@ -84,10 +84,8 @@ pub fn group_greedy(k: usize, a: usize, pairs: &[(usize, usize, u64)]) -> Vec<Ve
                 }
                 None => {
                     // Split: fill the emptiest bin with a prefix.
-                    let bin = bins
-                        .iter_mut()
-                        .max_by_key(|b| a - b.len())
-                        .expect("at least one bin");
+                    let bin =
+                        bins.iter_mut().max_by_key(|b| a - b.len()).expect("at least one bin");
                     let take = a - bin.len();
                     debug_assert!(take > 0, "total size bookkeeping broken");
                     bin.extend(cluster.drain(..take));
@@ -108,10 +106,7 @@ pub fn group_greedy(k: usize, a: usize, pairs: &[(usize, usize, u64)]) -> Vec<Ve
 #[allow(clippy::needless_range_loop)] // indices address several arrays at once
 pub fn group_exhaustive(k: usize, a: usize, affinity: &impl Affinity) -> Vec<Vec<usize>> {
     assert!(a > 0 && k.is_multiple_of(a), "{k} objects cannot form groups of {a}");
-    assert!(
-        n_choose_k(k, a) <= 200_000,
-        "exhaustive grouping infeasible for C({k}, {a})"
-    );
+    assert!(n_choose_k(k, a) <= 200_000, "exhaustive grouping infeasible for C({k}, {a})");
     // Total affinity of each object, for the external-traffic tie-break.
     let mut degree = vec![0u64; k];
     for i in 0..k {
@@ -191,9 +186,7 @@ pub fn grouping_value(groups: &[Vec<usize>], affinity: &impl Affinity) -> u64 {
     groups
         .iter()
         .flat_map(|g| {
-            g.iter()
-                .enumerate()
-                .flat_map(move |(x, &i)| g[x + 1..].iter().map(move |&j| (i, j)))
+            g.iter().enumerate().flat_map(move |(x, &i)| g[x + 1..].iter().map(move |&j| (i, j)))
         })
         .map(|(i, j)| affinity.weight(i, j))
         .sum()

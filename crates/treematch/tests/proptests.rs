@@ -1,104 +1,102 @@
 //! Property-based tests for TreeMatch and the constrained partitioner.
 
-use proptest::prelude::*;
-
 use mim_topology::{CommMatrix, Machine};
 use mim_treematch::grouping::{group_greedy, grouping_value};
 use mim_treematch::{
     place_constrained, tree_match_with, Affinity, GroupingStrategy, SparseAffinity,
 };
+use mim_util::prop::Gen;
+use mim_util::props;
+use mim_util::rng::Rng;
 
-fn arb_sparse(n: usize, max_edges: usize) -> impl Strategy<Value = SparseAffinity> {
-    prop::collection::vec((0..n, 0..n, 1u64..10_000), 0..max_edges).prop_map(move |pairs| {
-        SparseAffinity::from_pairs(
-            n,
-            pairs.into_iter().filter(|&(i, j, _)| i != j),
-        )
-    })
+fn arb_sparse(g: &mut Gen, n: usize, max_edges: usize) -> SparseAffinity {
+    let pairs = g.vec(0..max_edges, |g| (g.index(n), g.index(n), g.gen_range(1u64..10_000)));
+    SparseAffinity::from_pairs(n, pairs.into_iter().filter(|&(i, j, _)| i != j))
 }
 
-fn assert_injective(sigma: &[usize], slots: usize) -> Result<(), TestCaseError> {
+fn assert_injective(sigma: &[usize], slots: usize) {
     let mut seen = vec![false; slots];
     for &s in sigma {
-        prop_assert!(s < slots, "slot {s} out of range");
-        prop_assert!(!seen[s], "slot {s} assigned twice");
+        assert!(s < slots, "slot {s} out of range");
+        assert!(!seen[s], "slot {s} assigned twice");
         seen[s] = true;
     }
-    Ok(())
 }
 
-proptest! {
-    #[test]
-    fn tree_match_yields_injective_assignment(aff in arb_sparse(10, 25)) {
+props! {
+    fn tree_match_yields_injective_assignment(g) {
+        let aff = arb_sparse(g, 10, 25);
         // 10 processes on a 2x2x4 = 16-leaf tree.
         let sigma = tree_match_with(&[2, 2, 4], &aff, GroupingStrategy::Greedy);
-        prop_assert_eq!(sigma.len(), 10);
-        assert_injective(&sigma, 16)?;
+        assert_eq!(sigma.len(), 10);
+        assert_injective(&sigma, 16);
     }
 
-    #[test]
-    fn tree_match_is_deterministic(aff in arb_sparse(8, 20)) {
+    fn tree_match_is_deterministic(g) {
+        let aff = arb_sparse(g, 8, 20);
         let a = tree_match_with(&[2, 2, 2], &aff, GroupingStrategy::Greedy);
         let b = tree_match_with(&[2, 2, 2], &aff, GroupingStrategy::Greedy);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 
-    #[test]
-    fn exhaustive_at_least_as_cohesive_as_greedy(aff in arb_sparse(8, 16)) {
+    fn exhaustive_at_least_as_cohesive_as_greedy(g) {
         use mim_topology::TopologyTree;
         use mim_treematch::mapping_distance_cost;
+        let aff = arb_sparse(g, 8, 16);
         let arities = [2usize, 2, 2];
         let tree = TopologyTree::new(arities.to_vec());
-        let g = tree_match_with(&arities, &aff, GroupingStrategy::Greedy);
+        let gr = tree_match_with(&arities, &aff, GroupingStrategy::Greedy);
         let e = tree_match_with(&arities, &aff, GroupingStrategy::Exhaustive);
         // Not a theorem level-by-level, but exhaustive should rarely lose;
         // allow a small slack to keep the property honest yet tight.
-        let cg = mapping_distance_cost(&tree, &g, &aff);
+        let cg = mapping_distance_cost(&tree, &gr, &aff);
         let ce = mapping_distance_cost(&tree, &e, &aff);
-        prop_assert!(ce <= cg + cg / 4 + 8, "exhaustive {ce} much worse than greedy {cg}");
+        assert!(ce <= cg + cg / 4 + 8, "exhaustive {ce} much worse than greedy {cg}");
     }
 
-    #[test]
-    fn constrained_placement_is_valid(aff in arb_sparse(9, 25), seed in any::<u64>()) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+    fn constrained_placement_is_valid(g) {
+        let aff = arb_sparse(g, 9, 25);
+        let seed = g.any_u64();
         let machine = Machine::cluster(2, 2, 4);
         let mut all: Vec<usize> = (0..machine.num_cores()).collect();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        all.shuffle(&mut rng);
+        let mut rng = Rng::seed_from_u64(seed);
+        rng.shuffle(&mut all);
         let slots = &all[..12];
         let sigma = place_constrained(&machine, slots, &aff);
-        prop_assert_eq!(sigma.len(), 9);
-        assert_injective(&sigma, 12)?;
+        assert_eq!(sigma.len(), 9);
+        assert_injective(&sigma, 12);
     }
 
-    #[test]
-    fn greedy_grouping_partitions(pairs in prop::collection::vec((0usize..12, 0usize..12, 1u64..100), 0..30)) {
-        let pairs: Vec<_> = pairs.into_iter().filter(|&(i, j, _)| i != j).collect();
+    fn greedy_grouping_partitions(g) {
+        let pairs: Vec<(usize, usize, u64)> = g
+            .vec(0..30, |g| (g.index(12), g.index(12), g.gen_range(1u64..100)))
+            .into_iter()
+            .filter(|&(i, j, _)| i != j)
+            .collect();
         for a in [2usize, 3, 4, 6] {
             let groups = group_greedy(12, a, &pairs);
-            prop_assert_eq!(groups.len(), 12 / a);
+            assert_eq!(groups.len(), 12 / a);
             let mut seen = [false; 12];
-            for g in &groups {
-                prop_assert_eq!(g.len(), a);
-                for &x in g {
-                    prop_assert!(!seen[x]);
+            for grp in &groups {
+                assert_eq!(grp.len(), a);
+                for &x in grp {
+                    assert!(!seen[x]);
                     seen[x] = true;
                 }
             }
-            prop_assert!(seen.iter().all(|&s| s));
+            assert!(seen.iter().all(|&s| s));
         }
     }
 
-    #[test]
-    fn grouping_value_bounded_by_total(aff in arb_sparse(8, 16)) {
+    fn grouping_value_bounded_by_total(g) {
+        let aff = arb_sparse(g, 8, 16);
         let groups = group_greedy(8, 4, &aff.pairs());
         let total: u64 = aff.pairs().iter().map(|&(_, _, w)| w).sum();
-        prop_assert!(grouping_value(&groups, &aff) <= total);
+        assert!(grouping_value(&groups, &aff) <= total);
     }
 
-    #[test]
-    fn dense_and_sparse_affinity_agree(entries in prop::collection::vec((0usize..6, 0usize..6, 1u64..100), 0..15)) {
+    fn dense_and_sparse_affinity_agree(g) {
+        let entries = g.vec(0..15, |g| (g.index(6), g.index(6), g.gen_range(1u64..100)));
         let mut m = CommMatrix::zeros(6);
         for &(i, j, w) in &entries {
             m.add(i, j, w);
@@ -107,7 +105,7 @@ proptest! {
         for i in 0..6 {
             for j in 0..6 {
                 if i != j {
-                    prop_assert_eq!(Affinity::weight(&m, i, j), sparse.weight(i, j));
+                    assert_eq!(Affinity::weight(&m, i, j), sparse.weight(i, j));
                 }
             }
         }

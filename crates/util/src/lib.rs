@@ -1,0 +1,22 @@
+//! `mim-util` — the workspace's in-tree standard library.
+//!
+//! The build environment is hermetic: nothing is fetched from crates.io, so
+//! every crate in the workspace depends only on `std` and on this crate.
+//! Each module here replaces exactly one former external dependency:
+//!
+//! | module | replaces | used by |
+//! |---|---|---|
+//! | [`rng`] | `rand` | placements, matrix generators, bench inputs |
+//! | [`channel`] | `crossbeam::channel` | the mpisim mailbox wiring |
+//! | [`sync`] | `parking_lot` | NIC counters, one-sided windows, runtime |
+//! | [`prop`] | `proptest` | every `proptests.rs` suite |
+//! | [`bench`] | `criterion` | the `crates/bench` microbenchmarks |
+//!
+//! The replacements are deliberately small: deterministic, seedable, and
+//! with just enough API surface for the call sites in this repository.
+
+pub mod bench;
+pub mod channel;
+pub mod prop;
+pub mod rng;
+pub mod sync;

@@ -34,7 +34,8 @@ fn run(reorder: bool) -> CgStats {
         let outcome = monitored_reorder(rank, &mon, &world, Flags::ALL_COMM, |comm| {
             cg::run_cg_charged(rank, comm, &a, 1, class.flops_per_iter);
         });
-        let (_, stats) = cg::run_cg_charged(rank, &outcome.comm, &a, class.iters, class.flops_per_iter);
+        let (_, stats) =
+            cg::run_cg_charged(rank, &outcome.comm, &a, class.iters, class.flops_per_iter);
         mon.finalize(rank).unwrap();
         // Charge the reordering to the totals, as the paper does ("the time
         // of the reordering is added to the whole timing").

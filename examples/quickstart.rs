@@ -31,9 +31,8 @@ fn main() {
         // MPI_M_suspend — freeze the session so its data can be read.
         mon.suspend(session).expect("suspend session");
         // MPI_M_allgather_data — everyone receives the full matrices.
-        let data = mon
-            .allgather_data(rank, session, Flags::COLL_ONLY)
-            .expect("gather monitored data");
+        let data =
+            mon.allgather_data(rank, session, Flags::COLL_ONLY).expect("gather monitored data");
         mon.free(session).expect("free session");
         mon.finalize(rank).expect("finalize monitoring");
         data

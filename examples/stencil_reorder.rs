@@ -47,7 +47,11 @@ fn main() {
     let (sum_opt, total_opt, comm_opt) = run(true);
     println!("2-D Jacobi, 24x80000 grid on a 6x8 process grid, 48 ranks cyclic over 2 nodes\n");
     println!("                checksum    exec time   halo-exchange time");
-    println!("no reordering   {sum_base:9.3}   {:>9}   {:>9}", fmt_ns(total_base), fmt_ns(comm_base));
+    println!(
+        "no reordering   {sum_base:9.3}   {:>9}   {:>9}",
+        fmt_ns(total_base),
+        fmt_ns(comm_base)
+    );
     println!("with reordering {sum_opt:9.3}   {:>9}   {:>9}", fmt_ns(total_opt), fmt_ns(comm_opt));
     assert_eq!(sum_base, sum_opt, "reordering must not change the physics");
     println!(

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Hermeticity guard: fail if cargo metadata reports any non-path dependency.
+
+The workspace promises a zero-external-dependency build (`cargo build
+--offline` from a clean checkout with an empty registry cache).  That only
+holds while every package in the graph is an in-tree path dependency; this
+script is the tripwire CI runs on every push.
+"""
+import json
+import subprocess
+import sys
+
+
+def main() -> int:
+    try:
+        meta = json.loads(
+            subprocess.check_output(
+                ["cargo", "metadata", "--format-version", "1", "--offline"]
+            )
+        )
+    except subprocess.CalledProcessError as e:
+        # Offline resolution already failed — a registry dependency snuck in.
+        print("cargo metadata --offline failed (exit " + str(e.returncode) + "):")
+        print("the dependency graph is no longer resolvable offline.")
+        return 1
+    bad = []
+    for pkg in meta["packages"]:
+        # A package with a source came from a registry / git, not the tree.
+        if pkg["source"] is not None:
+            bad.append("package " + pkg["name"] + " from " + str(pkg["source"]))
+        for dep in pkg["dependencies"]:
+            if dep["source"] is not None or dep.get("path") is None:
+                bad.append(
+                    pkg["name"] + " -> " + dep["name"] + " (" + str(dep["source"]) + ")"
+                )
+    if bad:
+        print("non-path dependencies detected:")
+        for b in bad:
+            print("  " + b)
+        return 1
+    names = sorted(p["name"] for p in meta["packages"])
+    print("hermetic: " + str(len(names)) + " path-only packages: " + ", ".join(names))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Record a performance baseline into results/BENCH_seed.json.
+#
+# Runs the three in-tree microbench harness binaries (hook_overhead,
+# treematch, coll_algorithms) with MIM_BENCH_JSON so their measurements
+# accumulate as JSON lines, times the fig2/fig4 figure binaries end to end,
+# and assembles everything into one valid JSON document.
+#
+# Quick mode is the default (a baseline should be cheap to re-record);
+# set MIM_QUICK=0 for full-length sampling.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+export MIM_QUICK="${MIM_QUICK:-1}"
+results_dir="${MIM_RESULTS_DIR:-results}"
+mkdir -p "$results_dir/logs"
+
+lines_file="$(mktemp)"
+trap 'rm -f "$lines_file"' EXIT
+
+cargo build --release --offline -p mim-bench --benches --bins
+
+for bench in hook_overhead treematch coll_algorithms; do
+  echo "===== microbench $bench"
+  MIM_BENCH_JSON="$lines_file" cargo bench --offline -p mim-bench --bench "$bench" \
+    > "$results_dir/logs/bench_$bench.log" 2>&1
+done
+
+# Wall-clock the two figure binaries the paper's overhead story leans on.
+for fig in fig2_counters fig4_overhead; do
+  echo "===== figure $fig"
+  start_ns=$(date +%s%N)
+  ./target/release/"$fig" > "$results_dir/logs/baseline_$fig.log" 2>&1
+  elapsed_ns=$(( $(date +%s%N) - start_ns ))
+  printf '{"harness":"%s","group":"figure_binary","label":"wall_clock","median_ns":%d,"mean_ns":%d,"min_ns":%d,"samples":1,"iters":1}\n' \
+    "$fig" "$elapsed_ns" "$elapsed_ns" "$elapsed_ns" >> "$lines_file"
+done
+
+python3 - "$lines_file" "$results_dir/BENCH_seed.json" <<'EOF'
+import json
+import sys
+
+lines_path, out_path = sys.argv[1], sys.argv[2]
+entries = [json.loads(line) for line in open(lines_path) if line.strip()]
+doc = {
+    "schema": "mim-bench-baseline-v1",
+    "quick": __import__("os").environ.get("MIM_QUICK", "1") not in ("", "0"),
+    "entries": entries,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print("wrote " + out_path + " (" + str(len(entries)) + " measurements)")
+EOF

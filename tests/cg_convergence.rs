@@ -10,7 +10,8 @@ use mim_topology::{Machine, Placement};
 
 #[test]
 fn distributed_matches_reference_at_16_ranks() {
-    let class = cg::CgClass { name: "T", na: 480, extra_per_row: 5, iters: 18, flops_per_iter: 0.0 };
+    let class =
+        cg::CgClass { name: "T", na: 480, extra_per_row: 5, iters: 18, flops_per_iter: 0.0 };
     let a = cg::generate_matrix(class, 16, 3);
     let na = a.order();
     let u = Universe::new(UniverseConfig::new(Machine::plafrim(1), Placement::packed(16)));
@@ -28,7 +29,8 @@ fn distributed_matches_reference_at_16_ranks() {
 
 #[test]
 fn reordering_preserves_the_solution_exactly() {
-    let class = cg::CgClass { name: "T", na: 384, extra_per_row: 4, iters: 12, flops_per_iter: 0.0 };
+    let class =
+        cg::CgClass { name: "T", na: 384, extra_per_row: 4, iters: 12, flops_per_iter: 0.0 };
     let np = 24;
     let a = cg::generate_matrix(class, np, 8);
     let machine = Machine::plafrim(2);
@@ -53,8 +55,7 @@ fn reordering_preserves_the_solution_exactly() {
             (s.residual, x, outcome.comm.rank())
         });
         let residual = out[0].0;
-        let mut blocks: Vec<(usize, Vec<f64>)> =
-            out.into_iter().map(|(_, x, r)| (r, x)).collect();
+        let mut blocks: Vec<(usize, Vec<f64>)> = out.into_iter().map(|(_, x, r)| (r, x)).collect();
         blocks.sort_by_key(|(r, _)| *r);
         (residual, blocks.into_iter().flat_map(|(_, x)| x).collect())
     };
@@ -67,7 +68,8 @@ fn reordering_preserves_the_solution_exactly() {
 
 #[test]
 fn comm_time_shrinks_under_reordering_on_bad_mapping() {
-    let class = cg::CgClass { name: "T", na: 768, extra_per_row: 4, iters: 10, flops_per_iter: 0.0 };
+    let class =
+        cg::CgClass { name: "T", na: 768, extra_per_row: 4, iters: 10, flops_per_iter: 0.0 };
     let np = 24;
     let a = cg::generate_matrix(class, np, 21);
     let machine = Machine::plafrim(2);
@@ -95,8 +97,5 @@ fn comm_time_shrinks_under_reordering_on_bad_mapping() {
 
     let base = run(false);
     let opt = run(true);
-    assert!(
-        opt < base,
-        "reordering should reduce rank 0's communication time: {base} -> {opt}"
-    );
+    assert!(opt < base, "reordering should reduce rank 0's communication time: {base} -> {opt}");
 }

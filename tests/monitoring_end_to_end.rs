@@ -123,10 +123,8 @@ fn rootflush_roundtrips_the_matrix() {
         mon.finalize(rank).unwrap();
     });
     let sizes = std::fs::read_to_string(format!("{base}_sizes.0.prof")).unwrap();
-    let rows: Vec<Vec<u64>> = sizes
-        .lines()
-        .map(|l| l.split(',').map(|v| v.parse().unwrap()).collect())
-        .collect();
+    let rows: Vec<Vec<u64>> =
+        sizes.lines().map(|l| l.split(',').map(|v| v.parse().unwrap()).collect()).collect();
     assert_eq!(rows.len(), np);
     for (i, row) in rows.iter().enumerate() {
         assert_eq!(row[(i + 1) % np], ((i + 1) * 10) as u64, "row {i}: {row:?}");

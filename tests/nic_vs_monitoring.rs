@@ -10,7 +10,7 @@ use mim_topology::{Machine, Placement};
 /// counters are fed from (the monitoring library's sessions only see the
 /// subset between their start and suspend, so they are compared separately).
 struct Recorder {
-    events: parking_lot::Mutex<Vec<(usize, usize, u64)>>, // (src_core, dst_core, bytes)
+    events: mim_util::sync::Mutex<Vec<(usize, usize, u64)>>, // (src_core, dst_core, bytes)
 }
 
 impl mim_mpisim::PmlHook for Recorder {
@@ -27,7 +27,7 @@ fn nic_equals_cross_node_monitored_traffic() {
     let mut cfg = UniverseConfig::new(machine.clone(), Placement::packed(np));
     cfg.nic_header_bytes = header;
     let u = Universe::new(cfg);
-    let recorder = std::sync::Arc::new(Recorder { events: parking_lot::Mutex::new(Vec::new()) });
+    let recorder = std::sync::Arc::new(Recorder { events: mim_util::sync::Mutex::new(Vec::new()) });
     u.add_global_hook(recorder.clone());
     let data = u.launch(|rank| {
         let world = rank.comm_world();

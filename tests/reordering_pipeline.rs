@@ -48,10 +48,7 @@ fn pipeline_improves_iteration_time_at_scale() {
     });
     let before = results.iter().map(|r| r.0).fold(0.0f64, f64::max);
     let after = results.iter().map(|r| r.1).fold(0.0f64, f64::max);
-    assert!(
-        after < before * 0.8,
-        "expected a clear win from reordering: {before} -> {after}"
-    );
+    assert!(after < before * 0.8, "expected a clear win from reordering: {before} -> {after}");
     // Everyone agreed on the same permutation and it is one.
     for r in &results {
         assert_eq!(r.2, results[0].2);
@@ -103,10 +100,7 @@ fn mapping_never_worse_than_identity_on_clustered_patterns() {
     // Pattern role r runs on the process with old rank inv[r].
     let reordered = cost(&|r| inv[r]);
     let identity = cost(&|r| r);
-    assert!(
-        reordered < identity,
-        "reordered cost {reordered} must beat identity {identity}"
-    );
+    assert!(reordered < identity, "reordered cost {reordered} must beat identity {identity}");
 }
 
 #[test]

@@ -40,10 +40,7 @@ fn stencil_reorder_preserves_physics_and_improves_halos() {
     let (sum_base, comm_base) = run(false);
     let (sum_opt, comm_opt) = run(true);
     assert_eq!(sum_base, sum_opt, "reordering must not change the numerics");
-    assert!(
-        comm_opt < comm_base,
-        "halo time should shrink: {comm_base} -> {comm_opt}"
-    );
+    assert!(comm_opt < comm_base, "halo time should shrink: {comm_base} -> {comm_opt}");
 }
 
 #[test]
