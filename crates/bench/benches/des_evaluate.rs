@@ -1,0 +1,62 @@
+//! Microbenchmark of the analytic DES evaluator on the densest generator
+//! (`alltoall_pairwise`: n·(n−1) messages), heap engine vs the seed's
+//! O(E·n) ready-scan (`evaluate_scan_reference`, retained as the oracle).
+//!
+//! The scan arm only runs at 256 ranks — at 4096 it would take minutes,
+//! which is exactly the point.  The 4096-rank heap case (≈33.5M events) is
+//! skipped under `MIM_QUICK` to keep the CI smoke fast; run with
+//! `MIM_QUICK=0` for the full acceptance scale.
+
+use mim_util::bench::{black_box, Bench};
+
+use mim_mpisim::schedule::{self, evaluate, evaluate_scan_reference};
+use mim_topology::Machine;
+
+/// Packed placement: rank r on core r (each machine below has exactly n
+/// cores, so every node hosts cross-node traffic).
+fn cores_for(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+fn main() {
+    let quick = std::env::var_os("MIM_QUICK").is_some_and(|v| v != "0" && !v.is_empty());
+    let mut b = Bench::new("des_evaluate");
+
+    // 256 ranks: both engines, directly comparable in one run.
+    {
+        let n = 256;
+        let machine = Machine::cluster(4, 2, 32); // 256 cores
+        let cores = cores_for(n);
+        let sched = schedule::alltoall_pairwise(n, 4096);
+        b.iter("des_evaluate", "alltoall_256/heap", || {
+            black_box(evaluate(&sched, &machine, &cores, 100.0, 50.0));
+        });
+        b.iter("des_evaluate", "alltoall_256/scan_ref", || {
+            black_box(evaluate_scan_reference(&sched, &machine, &cores, 100.0, 50.0, false));
+        });
+    }
+
+    // 1024 ranks, heap only (~2.1M events).
+    {
+        let n = 1024;
+        let machine = Machine::cluster(8, 2, 64); // 1024 cores
+        let cores = cores_for(n);
+        let sched = schedule::alltoall_pairwise(n, 4096);
+        b.iter("des_evaluate", "alltoall_1024/heap", || {
+            black_box(evaluate(&sched, &machine, &cores, 100.0, 50.0));
+        });
+    }
+
+    // 4096 ranks, heap only (~33.5M events) — the acceptance scale.
+    if !quick {
+        let n = 4096;
+        let machine = Machine::cluster(16, 2, 128); // 4096 cores
+        let cores = cores_for(n);
+        let sched = schedule::alltoall_pairwise(n, 4096);
+        b.iter("des_evaluate", "alltoall_4096/heap", || {
+            black_box(evaluate(&sched, &machine, &cores, 100.0, 50.0));
+        });
+    }
+
+    b.finish();
+}

@@ -1,0 +1,111 @@
+//! Microbenchmark of unexpected-queue matching: the per-message cost every
+//! monitored receive pays before the introspection hooks even run.
+//!
+//! The adversarial case is the paper's Table-1 shape — a deep unexpected
+//! queue (10k messages across many `(src, tag)` channels) probed with a
+//! fully specific pattern whose match sits at the *end* of arrival order.
+//! The seed's flat `Vec` scan walks all 10k envelopes per receive; the
+//! indexed [`UnexpectedQueue`] answers from one per-channel FIFO in O(1)
+//! amortized.  A `linear_ref` arm re-implements the seed matcher inline so
+//! one bench run shows the ratio directly (the CI gate tracks the indexed
+//! arms only).
+
+use mim_util::bench::{black_box, Bench};
+
+use mim_mpisim::envelope::{Ctx, Envelope, MsgKind, Payload};
+use mim_mpisim::mailbox::{MatchPattern, SrcSel, TagSel, UnexpectedQueue};
+
+const QUEUED: usize = 10_000;
+const SRCS: usize = 100;
+const TAGS: usize = 100;
+
+fn env(src: usize, tag: u32) -> Envelope {
+    Envelope {
+        src_world: src,
+        dst_world: 0,
+        comm_id: 7,
+        ctx: Ctx::Pt2pt,
+        tag,
+        kind: MsgKind::P2pUser,
+        payload: Payload::Synthetic(64),
+        sent_at_ns: 0.0,
+        arrival_ns: 0.0,
+    }
+}
+
+fn fill() -> Vec<Envelope> {
+    // All SRCS×TAGS = 10k channels distinct, one message each; the pattern
+    // (SRCS−1, TAGS−1) is matched by exactly the last arrival — the linear
+    // scan's worst case, and (for the wildcard arms) the widest possible
+    // candidate-channel set for the indexed matcher.
+    (0..QUEUED).map(|i| env(i % SRCS, ((i / SRCS) % TAGS) as u32)).collect()
+}
+
+/// The seed's matcher, re-implemented for the comparison arm: flat arrival
+/// vector, scan + remove.
+struct LinearRef(Vec<Envelope>);
+
+impl LinearRef {
+    fn matches(pat: &MatchPattern, e: &Envelope) -> bool {
+        e.comm_id == pat.comm_id
+            && e.ctx == pat.ctx
+            && match pat.src {
+                SrcSel::Any => true,
+                SrcSel::World(w) => e.src_world == w,
+            }
+            && match pat.tag {
+                TagSel::Any => true,
+                TagSel::Is(t) => e.tag == t,
+            }
+    }
+
+    fn take(&mut self, pat: &MatchPattern) -> Option<Envelope> {
+        let pos = self.0.iter().position(|e| Self::matches(pat, e))?;
+        Some(self.0.remove(pos))
+    }
+}
+
+fn main() {
+    let mut b = Bench::new("mailbox_matching");
+
+    let specific = MatchPattern {
+        comm_id: 7,
+        ctx: Ctx::Pt2pt,
+        src: SrcSel::World(SRCS - 1),
+        tag: TagSel::Is(TAGS as u32 - 1),
+    };
+    let wildcard = MatchPattern { comm_id: 7, ctx: Ctx::Pt2pt, src: SrcSel::Any, tag: TagSel::Any };
+    let src_only = MatchPattern {
+        comm_id: 7,
+        ctx: Ctx::Pt2pt,
+        src: SrcSel::World(SRCS - 1),
+        tag: TagSel::Any,
+    };
+
+    // Steady state: every iteration takes one message and pushes an
+    // identical replacement, so the queue holds QUEUED messages throughout.
+    let mut indexed = UnexpectedQueue::new();
+    for e in fill() {
+        indexed.push(e);
+    }
+    b.iter("mailbox_matching", "specific_10k/indexed", || {
+        let e = indexed.take(black_box(&specific)).expect("steady-state queue");
+        indexed.push(e);
+    });
+    b.iter("mailbox_matching", "wildcard_any_10k/indexed", || {
+        let e = indexed.take(black_box(&wildcard)).expect("steady-state queue");
+        indexed.push(e);
+    });
+    b.iter("mailbox_matching", "wildcard_src_10k/indexed", || {
+        let e = indexed.take(black_box(&src_only)).expect("steady-state queue");
+        indexed.push(e);
+    });
+
+    let mut linear = LinearRef(fill());
+    b.iter("mailbox_matching", "specific_10k/linear_ref", || {
+        let e = linear.take(black_box(&specific)).expect("steady-state queue");
+        linear.0.push(e);
+    });
+
+    b.finish();
+}

@@ -112,6 +112,14 @@ impl SessionData {
 
 /// Fixed-capacity slot table for sessions (the paper has a maximum session
 /// count: `MPI_M_SESSION_OVERFLOW`).
+///
+/// Stale-id safety: every live id carries its slot's generation, bumped on
+/// each reuse.  Generations start at [`SessionTable::FIRST_GENERATION`] for
+/// fresh and reused slots alike, and a slot whose *next* generation would
+/// reach the [`SessionTable::RETIRED`] sentinel is retired — never handed
+/// out again — so the counter saturates instead of wrapping and a stale
+/// `Msid` from 2³²−2 reuses ago can never validate against a younger
+/// session.
 pub(crate) struct SessionTable {
     slots: Vec<Option<SessionData>>,
     generations: Vec<u32>,
@@ -122,12 +130,25 @@ pub(crate) struct SessionTable {
 pub const MAX_SESSIONS: usize = 256;
 
 impl SessionTable {
+    /// Generation of every slot's first session (fresh and reused slots are
+    /// indistinguishable to id holders).
+    pub(crate) const FIRST_GENERATION: u32 = 1;
+
+    /// Sentinel generation of a retired slot: saturation point of the
+    /// counter, never encoded into a live `Msid`.
+    pub(crate) const RETIRED: u32 = u32::MAX;
+
     pub(crate) fn new(max_sessions: usize) -> Self {
         Self { slots: Vec::new(), generations: Vec::new(), max_sessions }
     }
 
     pub(crate) fn insert(&mut self, data: SessionData) -> Result<Msid> {
-        if let Some(slot) = self.slots.iter().position(Option::is_none) {
+        let reusable = self
+            .slots
+            .iter()
+            .zip(&self.generations)
+            .position(|(s, &g)| s.is_none() && g + 1 < Self::RETIRED);
+        if let Some(slot) = reusable {
             self.slots[slot] = Some(data);
             self.generations[slot] += 1;
             return Ok(Msid::encode(slot, self.generations[slot]));
@@ -136,8 +157,8 @@ impl SessionTable {
             return Err(MonError::SessionOverflow);
         }
         self.slots.push(Some(data));
-        self.generations.push(0);
-        Ok(Msid::encode(self.slots.len() - 1, 0))
+        self.generations.push(Self::FIRST_GENERATION);
+        Ok(Msid::encode(self.slots.len() - 1, Self::FIRST_GENERATION))
     }
 
     pub(crate) fn get(&self, msid: Msid) -> Result<&SessionData> {
@@ -269,6 +290,35 @@ mod tests {
         assert!(t.get(a).is_err());
         assert!(t.get(c).is_ok());
         assert_eq!(t.get(Msid::ALL).err(), Some(MonError::InvalidMsid));
+    }
+
+    #[test]
+    fn generations_unified_and_wrap_impossible() {
+        let mut t = SessionTable::new(4);
+        // Fresh slots and reused slots start ids at the same generation.
+        let a = t.insert(SessionData::new(comm3())).unwrap();
+        assert_eq!(a.generation(), SessionTable::FIRST_GENERATION);
+        t.remove(a).unwrap();
+        let b = t.insert(SessionData::new(comm3())).unwrap();
+        assert_eq!((b.slot(), b.generation()), (a.slot(), SessionTable::FIRST_GENERATION + 1));
+        assert!(t.get(a).is_err(), "stale id must not validate after reuse");
+        t.remove(b).unwrap();
+
+        // Saturate slot 0's generation counter to one step below the
+        // retirement sentinel: the slot must be skipped, not wrapped —
+        // otherwise a stale Msid from 2^32 generations ago would validate
+        // against the new session.
+        t.generations[0] = SessionTable::RETIRED - 1;
+        let c = t.insert(SessionData::new(comm3())).unwrap();
+        assert_ne!(c.slot(), a.slot(), "exhausted slot must be retired, not reused");
+        assert_eq!(c.generation(), SessionTable::FIRST_GENERATION);
+        let stale = Msid::encode(a.slot(), SessionTable::FIRST_GENERATION);
+        assert!(t.get(stale).is_err());
+        // A retired slot permanently spends capacity: with max_sessions = 4
+        // and one slot retired, only three more sessions fit.
+        let _d = t.insert(SessionData::new(comm3())).unwrap();
+        let _e = t.insert(SessionData::new(comm3())).unwrap();
+        assert_eq!(t.insert(SessionData::new(comm3())).err(), Some(MonError::SessionOverflow));
     }
 
     #[test]

@@ -42,9 +42,10 @@ pub mod schedule;
 pub use comm::Comm;
 pub use datatype::Scalar;
 pub use envelope::{MsgKind, Payload};
+pub use mailbox::UnexpectedQueue;
 pub use nic::{NicCounters, NicEvent};
 pub use nonblocking::{waitall_recv, RecvRequest, SendRequest};
 pub use osc::Window;
 pub use pml::{LocalPmlHook, PmlEvent, PmlHook};
 pub use runtime::{Rank, SrcSel, Status, TagSel, Universe, UniverseConfig};
-pub use schedule::{Schedule, Step};
+pub use schedule::{ChannelTotals, Schedule, Step};

@@ -1,5 +1,17 @@
 //! Per-rank mailbox with MPI matching semantics.
+//!
+//! Matching is *indexed*: arrived-but-unmatched envelopes live in
+//! [`UnexpectedQueue`], a two-level hash index keyed by `(comm, ctx)` then
+//! `(src_world, tag)`, each leaf a FIFO stamped with a global arrival
+//! sequence number.  A fully specific receive pops the head of one leaf in
+//! O(1) amortized; a wildcard receive takes the minimum arrival sequence
+//! over the candidate leaves of its `(comm, ctx)` group — a min over
+//! *distinct channels*, not a scan over queued messages — which preserves
+//! MPI's non-overtaking rule exactly (per-channel FIFOs never reorder, and
+//! the sequence stamp restores global arrival order across channels).
 
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
 use std::time::Duration;
 
 use mim_util::channel::{Receiver, RecvTimeoutError};
@@ -53,13 +65,170 @@ impl MatchPattern {
     }
 }
 
+/// One `(comm, ctx)` matching group: its channels, plus the channels
+/// ordered by the arrival sequence of their *head* message.
+#[derive(Default)]
+struct Group {
+    /// `(src_world, tag)` → FIFO of `(arrival seq, env)`.
+    chans: HashMap<(usize, u32), VecDeque<(u64, Envelope)>>,
+    /// Head arrival seq → channel.  Walking this in order visits channels
+    /// by earliest eligible message, so a wildcard take stops at the first
+    /// channel passing its src/tag filter — O(log k) for `ANY/ANY` instead
+    /// of a min over every candidate channel.
+    by_head: BTreeMap<u64, (usize, u32)>,
+}
+
+fn chan_matches(pat: &MatchPattern, (src, tag): (usize, u32)) -> bool {
+    (match pat.src {
+        SrcSel::Any => true,
+        SrcSel::World(w) => src == w,
+    }) && (match pat.tag {
+        TagSel::Any => true,
+        TagSel::Is(t) => tag == t,
+    })
+}
+
+/// The indexed unexpected-message queue (see module docs).
+///
+/// Public so the `mailbox_matching` microbench can drive it directly,
+/// without threads or channels in the measured loop.
+#[derive(Default)]
+pub struct UnexpectedQueue {
+    groups: HashMap<(u64, Ctx), Group>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl UnexpectedQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued envelopes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append an envelope in arrival order.
+    pub fn push(&mut self, env: Envelope) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let group = self.groups.entry((env.comm_id, env.ctx)).or_default();
+        let chan = (env.src_world, env.tag);
+        let fifo = group.chans.entry(chan).or_default();
+        if fifo.is_empty() {
+            group.by_head.insert(seq, chan);
+        }
+        fifo.push_back((seq, env));
+        self.len += 1;
+    }
+
+    /// Remove and return the earliest-arrived envelope matching `pat`.
+    pub fn take(&mut self, pat: &MatchPattern) -> Option<Envelope> {
+        let group_key = (pat.comm_id, pat.ctx);
+        let group = self.groups.get_mut(&group_key)?;
+        let chan = match (pat.src, pat.tag) {
+            // Fully specific: one leaf, O(1).
+            (SrcSel::World(src), TagSel::Is(tag)) => {
+                group.chans.contains_key(&(src, tag)).then_some((src, tag))?
+            }
+            // Wildcard: first channel in head-arrival order passing the
+            // filter — its head is the earliest eligible message, because
+            // every queued message is some channel's head or behind it.
+            _ => group.by_head.values().copied().find(|&c| chan_matches(pat, c))?,
+        };
+        let fifo = group.chans.get_mut(&chan).expect("channel key came from the index");
+        let (seq, env) = fifo.pop_front().expect("empty channels are pruned");
+        group.by_head.remove(&seq);
+        if let Some(&(next_seq, _)) = fifo.front() {
+            group.by_head.insert(next_seq, chan);
+        } else {
+            group.chans.remove(&chan);
+            if group.chans.is_empty() {
+                self.groups.remove(&group_key);
+            }
+        }
+        self.len -= 1;
+        Some(env)
+    }
+
+    /// Is any queued envelope matching `pat` (no removal)?
+    pub fn contains_match(&self, pat: &MatchPattern) -> bool {
+        let Some(group) = self.groups.get(&(pat.comm_id, pat.ctx)) else { return false };
+        match (pat.src, pat.tag) {
+            (SrcSel::World(src), TagSel::Is(tag)) => group.chans.contains_key(&(src, tag)),
+            _ => group.by_head.values().any(|&c| chan_matches(pat, c)),
+        }
+    }
+
+    /// Human-readable dump of up to `limit` queued envelopes in arrival
+    /// order (deadlock diagnostics).
+    pub fn dump(&self, limit: usize) -> String {
+        let mut all: Vec<(u64, &Envelope)> = self
+            .groups
+            .values()
+            .flat_map(|g| g.chans.values())
+            .flat_map(|fifo| fifo.iter().map(|(s, e)| (*s, e)))
+            .collect();
+        all.sort_unstable_by_key(|&(s, _)| s);
+        let mut out = String::new();
+        for (seq, e) in all.iter().take(limit) {
+            let _ = writeln!(
+                out,
+                "  #{seq}: src_world={} comm={} ctx={:?} tag={} kind={:?} bytes={}",
+                e.src_world,
+                e.comm_id,
+                e.ctx,
+                e.tag,
+                e.kind,
+                e.payload.len_bytes()
+            );
+        }
+        if all.len() > limit {
+            let _ = writeln!(out, "  … and {} more", all.len() - limit);
+        }
+        out
+    }
+}
+
+/// The seed's linear matcher, retained as a correctness oracle: a flat
+/// arrival-ordered `Vec` scanned front to back.  The equivalence property
+/// in the test module drives random interleavings through both matchers.
+#[cfg(test)]
+#[derive(Default)]
+pub(crate) struct LinearQueue {
+    items: Vec<Envelope>,
+}
+
+#[cfg(test)]
+impl LinearQueue {
+    pub(crate) fn push(&mut self, env: Envelope) {
+        self.items.push(env);
+    }
+
+    pub(crate) fn take(&mut self, pat: &MatchPattern) -> Option<Envelope> {
+        let pos = self.items.iter().position(|e| pat.matches(e))?;
+        Some(self.items.remove(pos))
+    }
+
+    pub(crate) fn contains_match(&self, pat: &MatchPattern) -> bool {
+        self.items.iter().any(|e| pat.matches(e))
+    }
+}
+
 /// A rank's incoming-message endpoint: the channel receiver plus the
 /// *unexpected message queue* holding arrived-but-unmatched envelopes, kept
 /// in arrival order so matching picks the earliest eligible message —
 /// MPI's non-overtaking rule.
 pub struct Mailbox {
     rx: Receiver<Envelope>,
-    unexpected: Vec<Envelope>,
+    unexpected: UnexpectedQueue,
     /// Wall-clock deadline for one blocking receive; hitting it means the
     /// simulated application deadlocked, so we panic with a diagnostic
     /// instead of hanging the test suite.
@@ -69,7 +238,7 @@ pub struct Mailbox {
 impl Mailbox {
     /// Wrap a channel receiver. `deadline` bounds any single blocking receive.
     pub fn new(rx: Receiver<Envelope>, deadline: Duration) -> Self {
-        Self { rx, unexpected: Vec::new(), deadline }
+        Self { rx, unexpected: UnexpectedQueue::new(), deadline }
     }
 
     /// Blocking receive of the earliest message matching `pat`.
@@ -78,8 +247,8 @@ impl Mailbox {
     /// Panics if no matching message arrives within the wall-clock deadline
     /// (deadlock detector) or if all senders disconnected.
     pub fn recv_match(&mut self, pat: &MatchPattern) -> Envelope {
-        if let Some(pos) = self.unexpected.iter().position(|e| pat.matches(e)) {
-            return self.unexpected.remove(pos);
+        if let Some(env) = self.unexpected.take(pat) {
+            return env;
         }
         loop {
             match self.rx.recv_timeout(self.deadline) {
@@ -91,9 +260,10 @@ impl Mailbox {
                 }
                 Err(RecvTimeoutError::Timeout) => panic!(
                     "deadlock: no message matching {pat:?} within {:?} \
-                     ({} unexpected messages queued)",
+                     (override with MIM_DEADLINE_MS); {} unexpected messages queued:\n{}",
                     self.deadline,
-                    self.unexpected.len()
+                    self.unexpected.len(),
+                    self.unexpected.dump(16)
                 ),
                 Err(RecvTimeoutError::Disconnected) => {
                     panic!("all senders disconnected while waiting for {pat:?}")
@@ -108,7 +278,7 @@ impl Mailbox {
         while let Ok(env) = self.rx.try_recv() {
             self.unexpected.push(env);
         }
-        self.unexpected.iter().any(|e| pat.matches(e))
+        self.unexpected.contains_match(pat)
     }
 
     /// Number of queued unexpected messages (diagnostic).
@@ -122,6 +292,7 @@ mod tests {
     use super::*;
     use crate::envelope::{MsgKind, Payload};
     use mim_util::channel::unbounded;
+    use mim_util::props;
 
     fn env(src: usize, comm: u64, ctx: Ctx, tag: u32) -> Envelope {
         Envelope {
@@ -166,6 +337,23 @@ mod tests {
     }
 
     #[test]
+    fn wildcard_takes_earliest_across_channels() {
+        // Distinct (src, tag) channels: the arrival-sequence index, not
+        // per-channel FIFO order, decides the wildcard winner.
+        let mut q = UnexpectedQueue::new();
+        q.push(env(5, 7, Ctx::Pt2pt, 2));
+        q.push(env(3, 7, Ctx::Pt2pt, 1));
+        q.push(env(5, 7, Ctx::Pt2pt, 1));
+        let got = q.take(&pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any)).unwrap();
+        assert_eq!((got.src_world, got.tag), (5, 2));
+        let got = q.take(&pat(7, Ctx::Pt2pt, SrcSel::World(5), TagSel::Any)).unwrap();
+        assert_eq!((got.src_world, got.tag), (5, 1));
+        let got = q.take(&pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Is(1))).unwrap();
+        assert_eq!((got.src_world, got.tag), (3, 1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn context_separation() {
         let (tx, rx) = unbounded();
         let mut mb = Mailbox::new(rx, Duration::from_secs(5));
@@ -205,5 +393,79 @@ mod tests {
         let (_tx, rx) = unbounded::<Envelope>();
         let mut mb = Mailbox::new(rx, Duration::from_millis(10));
         mb.recv_match(&pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any));
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected messages queued")]
+    fn deadline_panic_dumps_queue() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx, Duration::from_millis(10));
+        tx.send(env(1, 7, Ctx::Pt2pt, 5)).unwrap();
+        mb.recv_match(&pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Is(6)));
+    }
+
+    /// Unique per-envelope marker so deliveries can be compared across the
+    /// two matchers (`Envelope` itself is not `PartialEq`).
+    fn marked(id: u64, src: usize, comm: u64, ctx: Ctx, tag: u32) -> Envelope {
+        let mut e = env(src, comm, ctx, tag);
+        e.sent_at_ns = id as f64;
+        e
+    }
+
+    props! {
+        /// The tentpole's equivalence oracle: random interleavings of
+        /// pushes and take attempts — wildcard and specific src/tag over
+        /// several comms and ctxs — must deliver identical messages in
+        /// identical order from the indexed matcher and the linear scan.
+        fn indexed_matcher_equals_linear_oracle(g) {
+            let mut indexed = UnexpectedQueue::new();
+            let mut oracle = LinearQueue::default();
+            let comms = [7u64, 8];
+            let ctxs = [Ctx::Pt2pt, Ctx::Coll, Ctx::Osc];
+            let mut id = 0u64;
+            for _ in 0..g.gen_range(1usize..200) {
+                if g.gen_bool(0.55) {
+                    let e = marked(
+                        id,
+                        g.index(4),
+                        *g.choose(&comms),
+                        *g.choose(&ctxs),
+                        g.gen_range(0u32..4),
+                    );
+                    id += 1;
+                    indexed.push(e.clone());
+                    oracle.push(e);
+                } else {
+                    let p = pat(
+                        *g.choose(&comms),
+                        *g.choose(&ctxs),
+                        if g.any_bool() { SrcSel::Any } else { SrcSel::World(g.index(4)) },
+                        if g.any_bool() { TagSel::Any } else { TagSel::Is(g.gen_range(0u32..4)) },
+                    );
+                    assert_eq!(indexed.contains_match(&p), oracle.contains_match(&p));
+                    let (a, b) = (indexed.take(&p), oracle.take(&p));
+                    assert_eq!(
+                        a.as_ref().map(|e| e.sent_at_ns),
+                        b.as_ref().map(|e| e.sent_at_ns),
+                        "indexed and linear matchers disagree on {p:?}"
+                    );
+                }
+            }
+            // Drain both fully: same residue in the same global order.
+            assert_eq!(indexed.len(), oracle.items.len());
+            for comm in comms {
+                for ctx in ctxs {
+                    let p = pat(comm, ctx, SrcSel::Any, TagSel::Any);
+                    loop {
+                        let (a, b) = (indexed.take(&p), oracle.take(&p));
+                        assert_eq!(a.as_ref().map(|e| e.sent_at_ns), b.as_ref().map(|e| e.sent_at_ns));
+                        if a.is_none() {
+                            break;
+                        }
+                    }
+                }
+            }
+            assert!(indexed.is_empty());
+        }
     }
 }

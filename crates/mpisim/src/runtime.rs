@@ -67,18 +67,27 @@ pub struct UniverseConfig {
 impl UniverseConfig {
     /// Standard configuration: one process per core of `machine`, packed
     /// placement, default overheads.
+    ///
+    /// The deadlock-detector deadline defaults to 30 s of wall clock but can
+    /// be raised (or lowered) via `MIM_DEADLINE_MS` — an overloaded CI
+    /// runner can stall a rank thread long enough to trip a fixed deadline
+    /// and report a false "deadlock".
     pub fn new(machine: Machine, placement: Placement) -> Self {
         assert!(
             placement.len() <= machine.num_cores(),
             "placement has more processes than the machine has cores"
         );
+        let deadline = std::env::var("MIM_DEADLINE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map_or(Duration::from_secs(30), Duration::from_millis);
         Self {
             machine,
             placement,
             send_overhead_ns: 100.0,
             recv_overhead_ns: 50.0,
             nic_header_bytes: 0,
-            deadline: Duration::from_secs(30),
+            deadline,
             stack_size: 4 << 20,
         }
     }
@@ -759,6 +768,19 @@ mod tests {
                 assert_eq!(v, vec![1]);
             }
         });
+    }
+
+    #[test]
+    fn deadline_env_override() {
+        // Use a generous value: tests run in parallel and another test
+        // constructing a config while the variable is set must not end up
+        // with a deadline short enough to trip its deadlock detector.
+        std::env::set_var("MIM_DEADLINE_MS", "123456");
+        let cfg = UniverseConfig::new(Machine::cluster(1, 1, 2), Placement::packed(2));
+        std::env::remove_var("MIM_DEADLINE_MS");
+        assert_eq!(cfg.deadline, Duration::from_millis(123_456));
+        let cfg = UniverseConfig::new(Machine::cluster(1, 1, 2), Placement::packed(2));
+        assert_eq!(cfg.deadline, Duration::from_secs(30));
     }
 
     #[test]

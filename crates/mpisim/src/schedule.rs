@@ -12,7 +12,7 @@
 //!   the exact timing rules of the threaded runtime — tests cross-check the
 //!   two paths against each other.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use mim_topology::Machine;
 
@@ -78,33 +78,100 @@ impl Schedule {
     }
 
     /// Check the schedule is self-consistent: every send has a matching
-    /// receive on the peer, in matching per-channel order.
+    /// receive on the peer, in matching per-channel order, and the whole
+    /// pattern can run to completion under the eager-send model.
     pub fn validate(&self) -> Result<(), String> {
-        let mut sends: HashMap<(usize, usize), usize> = HashMap::new();
-        let mut recvs: HashMap<(usize, usize), usize> = HashMap::new();
+        self.validate_totals().map(|_| ())
+    }
+
+    /// Like [`Schedule::validate`], reporting per-channel traffic totals on
+    /// success.
+    ///
+    /// Validation *replays* the schedule: sends are eager (never block),
+    /// each receive consumes the head of its per-channel FIFO and blocks
+    /// until one is available.  This rejects schedules the seed's
+    /// count-comparison accepted — equal per-channel counts but crossed
+    /// order (a circular wait), which deadlock any real execution — and
+    /// flags sends that are never received.
+    pub fn validate_totals(&self) -> Result<Vec<ChannelTotals>, String> {
+        let n = self.nranks();
         for (r, steps) in self.steps.iter().enumerate() {
             for s in steps {
-                match *s {
-                    Step::Send { peer, .. } => {
-                        if peer >= self.nranks() {
-                            return Err(format!("rank {r} sends to out-of-range {peer}"));
-                        }
-                        *sends.entry((r, peer)).or_default() += 1;
-                    }
-                    Step::Recv { peer } => {
-                        if peer >= self.nranks() {
-                            return Err(format!("rank {r} receives from out-of-range {peer}"));
-                        }
-                        *recvs.entry((peer, r)).or_default() += 1;
-                    }
+                let (Step::Send { peer, .. } | Step::Recv { peer }) = *s;
+                if peer >= n {
+                    let dir =
+                        if matches!(s, Step::Send { .. }) { "sends to" } else { "receives from" };
+                    return Err(format!("rank {r} {dir} out-of-range {peer}"));
                 }
             }
         }
-        if sends != recvs {
-            return Err("send/receive counts differ on some channel".into());
+        let mut pc = vec![0usize; n];
+        // In-flight (sent, not yet received) message count per (src, dst).
+        let mut queued: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut totals: HashMap<(usize, usize), (u64, u64)> = HashMap::new();
+        // (src, dst) → the dst rank currently blocked on that channel.
+        let mut blocked: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut remaining: usize = self.steps.iter().map(Vec::len).sum();
+        let mut runnable: Vec<usize> = (0..n).rev().collect();
+        while let Some(r) = runnable.pop() {
+            while pc[r] < self.steps[r].len() {
+                match self.steps[r][pc[r]] {
+                    Step::Send { peer, bytes } => {
+                        *queued.entry((r, peer)).or_default() += 1;
+                        let t = totals.entry((r, peer)).or_default();
+                        t.0 += 1;
+                        t.1 += bytes;
+                        if let Some(w) = blocked.remove(&(r, peer)) {
+                            runnable.push(w);
+                        }
+                    }
+                    Step::Recv { peer } => {
+                        let pending = queued.entry((peer, r)).or_default();
+                        if *pending == 0 {
+                            blocked.insert((peer, r), r);
+                            break;
+                        }
+                        *pending -= 1;
+                    }
+                }
+                pc[r] += 1;
+                remaining -= 1;
+            }
         }
-        Ok(())
+        if remaining > 0 {
+            let mut stuck: Vec<_> = blocked.iter().map(|(&(src, dst), _)| (dst, src)).collect();
+            stuck.sort_unstable();
+            let (dst, src) = stuck[0];
+            return Err(format!(
+                "schedule deadlocks: rank {dst} waits for a message from rank {src} \
+                 that is never sent in time ({remaining} steps unreached)"
+            ));
+        }
+        if let Some((&(src, dst), &count)) =
+            queued.iter().filter(|(_, &c)| c > 0).min_by_key(|(&k, _)| k)
+        {
+            return Err(format!("channel {src}→{dst} has {count} sends that are never received"));
+        }
+        let mut report: Vec<ChannelTotals> = totals
+            .into_iter()
+            .map(|((src, dst), (messages, bytes))| ChannelTotals { src, dst, messages, bytes })
+            .collect();
+        report.sort_unstable_by_key(|c| (c.src, c.dst));
+        Ok(report)
     }
+}
+
+/// Per-channel traffic totals reported by [`Schedule::validate_totals`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelTotals {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Messages on the channel.
+    pub messages: u64,
+    /// Total payload bytes on the channel.
+    pub bytes: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -368,10 +435,111 @@ pub fn evaluate_contended(
     simulate(schedule, machine, rank_to_core, send_overhead_ns, recv_overhead_ns, true)
 }
 
+/// Ready-queue entry ordered as a *min*-heap on `(clock, rank)` — the same
+/// "smallest clock, lowest rank breaks ties" rule as the seed's linear scan,
+/// so shared-resource bookings happen in the identical order and results
+/// stay bit-identical.
+struct Ready(f64, usize);
+
+impl PartialEq for Ready {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Ready {}
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest first.
+        other.0.total_cmp(&self.0).then(other.1.cmp(&self.1))
+    }
+}
+
 /// Discrete-event engine: repeatedly run the *ready* rank with the smallest
 /// clock for one step, so shared-resource bookings happen in virtual-time
 /// order.
+///
+/// The ready set is an indexed heap: ranks are keyed by their clock, and a
+/// rank popped while its receive has no message yet is *parked* on that
+/// channel and re-enqueued (at its own, unchanged clock) when a send lands
+/// there.  Each of the E steps costs O(log n) instead of the seed's O(n)
+/// ready-scan, taking the whole evaluation from O(E·n) to O(E log n) — the
+/// difference between minutes and milliseconds at Table-1 / NP=256 scales
+/// and beyond.
 fn simulate(
+    schedule: &Schedule,
+    machine: &Machine,
+    rank_to_core: &[usize],
+    send_overhead_ns: f64,
+    recv_overhead_ns: f64,
+    contention: bool,
+) -> Vec<f64> {
+    let n = schedule.nranks();
+    assert_eq!(rank_to_core.len(), n, "rank/core mapping size mismatch");
+    let mut clock = vec![0.0f64; n];
+    let mut pc = vec![0usize; n];
+    let mut channels: HashMap<(usize, usize), VecDeque<f64>> = HashMap::new();
+    let mut nic_free = vec![0.0f64; machine.num_nodes()];
+    // Channels with a receiver currently parked on them (the parked rank is
+    // the channel's dst; it holds no heap entry while parked).
+    let mut parked: HashSet<(usize, usize)> = HashSet::new();
+    let mut remaining: usize = (0..n).map(|r| schedule.steps[r].len()).sum();
+    let mut heap = BinaryHeap::with_capacity(n);
+    for (r, steps) in schedule.steps.iter().enumerate() {
+        if !steps.is_empty() {
+            heap.push(Ready(clock[r], r));
+        }
+    }
+    while remaining > 0 {
+        let Some(Ready(_, r)) = heap.pop() else {
+            panic!("schedule deadlocked during evaluation");
+        };
+        match schedule.steps[r][pc[r]] {
+            Step::Send { peer, bytes } => {
+                let (src, dst) = (rank_to_core[r], rank_to_core[peer]);
+                let link = machine.link_params(src, dst);
+                let busy = link.beta_ns_per_byte * bytes as f64;
+                clock[r] += send_overhead_ns;
+                if contention && machine.crosses_network(src, dst) {
+                    let node = machine.node_of_core(src);
+                    let start = nic_free[node].max(clock[r]);
+                    nic_free[node] = start + busy;
+                    clock[r] = start + busy;
+                } else {
+                    clock[r] += busy;
+                }
+                channels.entry((r, peer)).or_default().push_back(clock[r] + link.alpha_ns);
+                if parked.remove(&(r, peer)) {
+                    heap.push(Ready(clock[peer], peer));
+                }
+            }
+            Step::Recv { peer } => {
+                let Some(arrival) = channels.get_mut(&(peer, r)).and_then(VecDeque::pop_front)
+                else {
+                    parked.insert((peer, r));
+                    continue;
+                };
+                clock[r] = clock[r].max(arrival) + recv_overhead_ns;
+            }
+        }
+        pc[r] += 1;
+        remaining -= 1;
+        if pc[r] < schedule.steps[r].len() {
+            heap.push(Ready(clock[r], r));
+        }
+    }
+    clock
+}
+
+/// The seed's O(E·n) ready-scan evaluator, retained verbatim as the
+/// equivalence oracle for [`evaluate`]/[`evaluate_contended`]: the
+/// `heap_evaluator_matches_scan_reference` property and the `des_evaluate`
+/// microbench both compare against it.  Not for production use.
+pub fn evaluate_scan_reference(
     schedule: &Schedule,
     machine: &Machine,
     rank_to_core: &[usize],
@@ -636,6 +804,83 @@ mod tests {
     fn invalid_schedule_detected() {
         let s = Schedule::new(vec![vec![Step::Send { peer: 1, bytes: 4 }], vec![]]);
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn crossed_order_rejected_despite_equal_counts() {
+        // Each rank first waits for the other's send: per-channel counts
+        // match exactly (one send and one receive on 0→1 and on 1→0), so the
+        // seed's count comparison accepted it — yet every real execution
+        // deadlocks.  The replaying validator must reject it.
+        let s = Schedule::new(vec![
+            vec![Step::Recv { peer: 1 }, Step::Send { peer: 1, bytes: 4 }],
+            vec![Step::Recv { peer: 0 }, Step::Send { peer: 0, bytes: 4 }],
+        ]);
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("deadlock"), "wrong rejection: {err}");
+        // The untangled version (send first) is fine.
+        let ok = Schedule::new(vec![
+            vec![Step::Send { peer: 1, bytes: 4 }, Step::Recv { peer: 1 }],
+            vec![Step::Send { peer: 0, bytes: 4 }, Step::Recv { peer: 0 }],
+        ]);
+        ok.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_reports_per_channel_bytes() {
+        let s = allgather_ring(3, 128);
+        let totals = s.validate_totals().unwrap();
+        // Each rank sends n-1 = 2 blocks to its right neighbour.
+        assert_eq!(totals.len(), 3);
+        for t in &totals {
+            assert_eq!(t.dst, (t.src + 1) % 3);
+            assert_eq!(t.messages, 2);
+            assert_eq!(t.bytes, 256);
+        }
+        let unreceived = Schedule::new(vec![
+            vec![Step::Send { peer: 1, bytes: 4 }, Step::Send { peer: 1, bytes: 4 }],
+            vec![Step::Recv { peer: 0 }],
+        ]);
+        let err = unreceived.validate().unwrap_err();
+        assert!(err.contains("never received"), "wrong rejection: {err}");
+    }
+
+    mim_util::props! {
+        /// The heap-based evaluator must be *bit-identical* to the seed's
+        /// O(E·n) ready-scan on random valid schedules, for both contention
+        /// modes — same event order, same floating-point operations.
+        fn heap_evaluator_matches_scan_reference(g) {
+            let n = g.gen_range(2usize..24);
+            let root = g.index(n);
+            let bytes = g.gen_range(0u64..2_000_000);
+            let machine = Machine::cluster(2, 2, 8);
+            let cores: Vec<usize> = {
+                let mut p = g.permutation(32);
+                p.truncate(n);
+                p
+            };
+            let schedules = [
+                bcast_binomial(n, root, bytes),
+                reduce_binary(n, root, bytes),
+                allgather_ring(n, bytes),
+                allreduce_recursive_doubling(n, bytes),
+                barrier_dissemination(n),
+                alltoall_pairwise(n, bytes.min(4096)),
+                bcast_binary_segmented(n, root, bytes.max(1), (bytes / 7).max(1)),
+            ];
+            for s in schedules {
+                for contention in [false, true] {
+                    let scan =
+                        evaluate_scan_reference(&s, &machine, &cores, 100.0, 50.0, contention);
+                    let heap = if contention {
+                        evaluate_contended(&s, &machine, &cores, 100.0, 50.0)
+                    } else {
+                        evaluate(&s, &machine, &cores, 100.0, 50.0)
+                    };
+                    assert_eq!(scan, heap, "divergence (contention={contention})");
+                }
+            }
+        }
     }
 
     #[test]

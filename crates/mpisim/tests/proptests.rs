@@ -38,7 +38,24 @@ props! {
             schedule::barrier_dissemination(n),
             schedule::allreduce_recursive_doubling(n, bytes),
         ] {
-            assert!(s.validate().is_ok());
+            // The replaying validator must accept every generator, and its
+            // per-channel report must agree with the message multiset.
+            let totals = s.validate_totals().unwrap();
+            assert_eq!(
+                totals.iter().map(|t| t.messages as usize).sum::<usize>(),
+                s.total_messages()
+            );
+            assert_eq!(totals.iter().map(|t| t.bytes).sum::<u64>(), s.total_bytes());
+            let mut from_multiset: std::collections::HashMap<(usize, usize), (u64, u64)> =
+                std::collections::HashMap::new();
+            for (src, dst, b) in s.message_multiset() {
+                let e = from_multiset.entry((src, dst)).or_default();
+                e.0 += 1;
+                e.1 += b;
+            }
+            for t in &totals {
+                assert_eq!(from_multiset.get(&(t.src, t.dst)), Some(&(t.messages, t.bytes)));
+            }
         }
         assert_eq!(schedule::bcast_binomial(n, root, bytes).total_messages(), n - 1);
         assert_eq!(schedule::reduce_binary(n, root, bytes).total_messages(), n - 1);

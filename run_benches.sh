@@ -29,6 +29,20 @@ for b in fig2_counters table1_treematch fig5_collectives fig6_heatmap fig4_overh
   fi
 done
 
+# Hot-path microbenches (matching + DES evaluator) ride along so a plain
+# ./run_benches.sh always refreshes their numbers too.
+for bench in mailbox_matching des_evaluate; do
+  echo "===== bench $bench start $(date +%T)"
+  if cargo bench --offline -p mim-bench --bench "$bench" \
+      > "$results_dir/logs/bench_$bench.log" 2>&1; then
+    echo "===== bench $bench done $(date +%T)"
+  else
+    rc=$?
+    status=1
+    echo "===== bench $bench FAILED rc=$rc (see $results_dir/logs/bench_$bench.log)" >&2
+  fi
+done
+
 if [[ $status -ne 0 ]]; then
   echo "SOME_BENCH_BINS_FAILED" >&2
 else

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fail when a microbench median regresses against the recorded baseline.
+
+Usage:
+    bench_regression_gate.py BASELINE.json CURRENT.jsonl [--max-ratio R]
+                             [--harness NAME ...]
+
+BASELINE.json is a ``mim-bench-baseline-v1`` document (see
+scripts/record_baseline.sh); CURRENT.jsonl is the JSON-lines file a bench
+run appends via MIM_BENCH_JSON.  Entries are matched on
+(harness, group, label); current entries with no baseline counterpart are
+reported but do not fail the gate (a new case has no baseline yet).
+
+The default threshold is deliberately tolerant (2x): shared CI runners are
+noisy, and the gate exists to catch order-of-magnitude regressions in the
+matching / DES hot paths, not few-percent drift.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-ratio", type=float, default=2.0)
+    ap.add_argument(
+        "--harness",
+        action="append",
+        default=[],
+        help="restrict the comparison to these harness names (default: all)",
+    )
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        doc = json.load(f)
+    baseline = {
+        (e["harness"], e["group"], e["label"]): e["median_ns"]
+        for e in doc["entries"]
+    }
+    with open(args.current) as f:
+        current = [json.loads(line) for line in f if line.strip()]
+    if args.harness:
+        current = [e for e in current if e["harness"] in args.harness]
+    if not current:
+        print("bench gate: no current entries to compare", file=sys.stderr)
+        return 2
+
+    failures = []
+    for e in current:
+        key = (e["harness"], e["group"], e["label"])
+        name = "/".join(key)
+        base = baseline.get(key)
+        if base is None:
+            print(f"  NEW      {name}: {e['median_ns']:.1f} ns (no baseline)")
+            continue
+        ratio = e["median_ns"] / base if base > 0 else float("inf")
+        verdict = "REGRESSED" if ratio > args.max_ratio else "ok"
+        print(f"  {verdict:<8} {name}: {e['median_ns']:.1f} ns vs baseline "
+              f"{base:.1f} ns ({ratio:.2f}x)")
+        if ratio > args.max_ratio:
+            failures.append((name, ratio))
+
+    if failures:
+        print(
+            f"bench gate: {len(failures)} case(s) regressed more than "
+            f"{args.max_ratio}x: "
+            + ", ".join(f"{n} ({r:.2f}x)" for n, r in failures),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench gate: {len(current)} case(s) within {args.max_ratio}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Record a performance baseline into results/BENCH_seed.json.
+# Record a performance baseline into results/BENCH_seed.json (or the file
+# named by the first argument, e.g. `record_baseline.sh BENCH_pr2.json`).
 #
-# Runs the three in-tree microbench harness binaries (hook_overhead,
-# treematch, coll_algorithms) with MIM_BENCH_JSON so their measurements
-# accumulate as JSON lines, times the fig2/fig4 figure binaries end to end,
-# and assembles everything into one valid JSON document.
+# Runs the in-tree microbench harness binaries (hook_overhead, treematch,
+# coll_algorithms, mailbox_matching, des_evaluate) with MIM_BENCH_JSON so
+# their measurements accumulate as JSON lines, times the fig2/fig4 figure
+# binaries end to end, and assembles everything into one valid JSON
+# document.
 #
 # Quick mode is the default (a baseline should be cheap to re-record);
 # set MIM_QUICK=0 for full-length sampling.
@@ -15,6 +17,7 @@ cd "$repo_root"
 
 export MIM_QUICK="${MIM_QUICK:-1}"
 results_dir="${MIM_RESULTS_DIR:-results}"
+out_name="${1:-BENCH_seed.json}"
 mkdir -p "$results_dir/logs"
 
 lines_file="$(mktemp)"
@@ -22,7 +25,7 @@ trap 'rm -f "$lines_file"' EXIT
 
 cargo build --release --offline -p mim-bench --benches --bins
 
-for bench in hook_overhead treematch coll_algorithms; do
+for bench in hook_overhead treematch coll_algorithms mailbox_matching des_evaluate; do
   echo "===== microbench $bench"
   MIM_BENCH_JSON="$lines_file" cargo bench --offline -p mim-bench --bench "$bench" \
     > "$results_dir/logs/bench_$bench.log" 2>&1
@@ -38,7 +41,7 @@ for fig in fig2_counters fig4_overhead; do
     "$fig" "$elapsed_ns" "$elapsed_ns" "$elapsed_ns" >> "$lines_file"
 done
 
-python3 - "$lines_file" "$results_dir/BENCH_seed.json" <<'EOF'
+python3 - "$lines_file" "$results_dir/$out_name" <<'EOF'
 import json
 import sys
 
