@@ -5,7 +5,9 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::rc::Rc;
 
+use mim_mpisim::clock::VirtualClock;
 use mim_mpisim::pml::LocalHookHandle;
+use mim_mpisim::trace::{TraceData, TraceHandle};
 use mim_mpisim::{Comm, PmlEvent, Rank};
 use mim_topology::CommMatrix;
 
@@ -47,6 +49,21 @@ pub struct GatheredData {
     pub sizes: CommMatrix,
 }
 
+/// Per-session introspection counters returned by
+/// [`Monitoring::trace_counters`]: the trace-facing complement of
+/// [`Monitoring::get_info`].  Available whether or not tracing is enabled
+/// (the counters live in the session table / mailbox, not the trace ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// Messages recorded by the session so far (all kinds).
+    pub events: u64,
+    /// Bytes recorded by the session so far (all kinds).
+    pub bytes: u64,
+    /// High-water mark of this rank's unexpected-message queue over the
+    /// process lifetime (not reset per session: it diagnoses the process).
+    pub max_unexpected_depth: usize,
+}
+
 /// The monitoring environment of one process (paper: the state set up by
 /// `MPI_M_init` and torn down by `MPI_M_finalize`).
 ///
@@ -65,6 +82,11 @@ pub struct Monitoring {
     hook: LocalHookHandle,
     world_rank: usize,
     finalized: std::cell::Cell<bool>,
+    /// The owning rank's trace track and clock, for recording session
+    /// lifecycle transitions on that rank's timeline (`None` when tracing
+    /// is off).  The clock is shared because suspend/resume/reset/free are
+    /// local calls that do not take a `&Rank`.
+    trace: Option<(TraceHandle, Rc<VirtualClock>)>,
 }
 
 impl Monitoring {
@@ -75,12 +97,22 @@ impl Monitoring {
         let recorder = Rc::clone(&state);
         let hook =
             rank.add_local_hook(Rc::new(move |ev: &PmlEvent| recorder.borrow_mut().record(ev)));
-        Ok(Self {
+        let this = Self {
             state,
             hook,
             world_rank: rank.world_rank(),
             finalized: std::cell::Cell::new(false),
-        })
+            trace: rank.trace_handle().map(|t| (t, rank.clock_shared())),
+        };
+        this.trace_session("init", Msid::ALL);
+        Ok(this)
+    }
+
+    /// Record a session lifecycle transition on the rank's trace track.
+    fn trace_session(&self, action: &'static str, msid: Msid) {
+        if let Some((t, clock)) = &self.trace {
+            t.record(clock.now_ns(), TraceData::Session { action, msid: msid.0 });
+        }
     }
 
     /// Tear down the environment (`MPI_M_finalize`).  Any later use of this
@@ -99,6 +131,7 @@ impl Monitoring {
         if !rank.remove_local_hook(self.hook) {
             return Err(MonError::MpitFail("monitoring hook already removed".into()));
         }
+        self.trace_session("finalize", Msid::ALL);
         self.finalized.set(true);
         Ok(())
     }
@@ -118,7 +151,12 @@ impl Monitoring {
     pub fn start(&self, rank: &Rank, comm: &Comm) -> Result<Msid> {
         self.check_init()?;
         rank.barrier(comm);
-        self.state.borrow_mut().insert(SessionData::new(comm.clone()))
+        let msid = self.state.borrow_mut().insert(SessionData::new(comm.clone()))?;
+        // Recorded *after* the barrier and the insert, so everything past
+        // this marker on the track is traffic the session could observe —
+        // the trace/monitoring cross-check property relies on that.
+        self.trace_session("start", msid);
+        Ok(msid)
     }
 
     /// Suspend an active session, making its data available
@@ -128,6 +166,7 @@ impl Monitoring {
     /// [`MonError::MultipleCall`] when the session is already suspended.
     pub fn suspend(&self, msid: Msid) -> Result<()> {
         self.check_init()?;
+        self.trace_session("suspend", msid);
         self.for_each(msid, |s| match s.state {
             SessionState::Active => {
                 s.state = SessionState::Suspended;
@@ -144,6 +183,7 @@ impl Monitoring {
     /// [`MonError::MultipleCall`] when the session is already active.
     pub fn resume(&self, msid: Msid) -> Result<()> {
         self.check_init()?;
+        self.trace_session("resume", msid);
         self.for_each(msid, |s| match s.state {
             SessionState::Suspended => {
                 s.state = SessionState::Active;
@@ -157,6 +197,7 @@ impl Monitoring {
     /// Accepts [`Msid::ALL`].
     pub fn reset(&self, msid: Msid) -> Result<()> {
         self.check_init()?;
+        self.trace_session("reset", msid);
         self.for_each(msid, |s| {
             if s.state != SessionState::Suspended {
                 return Err(MonError::SessionNotSuspended);
@@ -170,6 +211,7 @@ impl Monitoring {
     /// (`MPI_M_free`).  Accepts [`Msid::ALL`].
     pub fn free(&self, msid: Msid) -> Result<()> {
         self.check_init()?;
+        self.trace_session("free", msid);
         if msid == Msid::ALL {
             let live = self.state.borrow().live_msids();
             for m in live {
@@ -196,6 +238,22 @@ impl Monitoring {
         let st = self.state.borrow();
         let s = st.get(msid)?;
         Ok(SessionInfo { provided: 3, array_size: s.comm.size() })
+    }
+
+    /// This process's introspection counters for a session: total recorded
+    /// events and bytes, plus the rank's unexpected-queue high-water mark.
+    /// Like `get_info`, callable from a single process; unlike the data
+    /// accessors, allowed on an *active* session (the counters are
+    /// monotone, so a racy read is still meaningful).
+    pub fn trace_counters(&self, rank: &Rank, msid: Msid) -> Result<TraceCounters> {
+        self.check_init()?;
+        let st = self.state.borrow();
+        let s = st.get(msid)?;
+        Ok(TraceCounters {
+            events: s.events,
+            bytes: s.bytes,
+            max_unexpected_depth: rank.max_unexpected_depth(),
+        })
     }
 
     /// Copy out this process's row of the session's data (`MPI_M_get_data`),

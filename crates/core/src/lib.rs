@@ -58,7 +58,7 @@ pub mod error;
 pub mod flags;
 pub mod session;
 
-pub use api::{GatheredData, Monitoring, SessionInfo, SessionRow};
+pub use api::{GatheredData, Monitoring, SessionInfo, SessionRow, TraceCounters};
 pub use error::{MonError, Result};
 pub use flags::Flags;
 pub use session::Msid;

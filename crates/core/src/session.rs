@@ -52,6 +52,10 @@ pub(crate) struct SessionData {
     counts: [Vec<u64>; 3],
     /// Bytes sent by this process, same indexing.
     sizes: [Vec<u64>; 3],
+    /// Total recorded events (all kinds), for the trace-counters API.
+    pub(crate) events: u64,
+    /// Total recorded bytes (all kinds), same.
+    pub(crate) bytes: u64,
 }
 
 impl SessionData {
@@ -64,6 +68,8 @@ impl SessionData {
             state: SessionState::Active,
             counts: [vec![0; n], vec![0; n], vec![0; n]],
             sizes: [vec![0; n], vec![0; n], vec![0; n]],
+            events: 0,
+            bytes: 0,
         }
     }
 
@@ -85,6 +91,8 @@ impl SessionData {
         let k = Flags::kind_index(ev.kind);
         self.counts[k][dst] += 1;
         self.sizes[k][dst] += ev.bytes;
+        self.events += 1;
+        self.bytes += ev.bytes;
     }
 
     /// Zero all recorded data.
@@ -93,6 +101,8 @@ impl SessionData {
             self.counts[k].fill(0);
             self.sizes[k].fill(0);
         }
+        self.events = 0;
+        self.bytes = 0;
     }
 
     /// This process's (counts, sizes) rows summed over the selected kinds.

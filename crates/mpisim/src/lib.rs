@@ -47,5 +47,9 @@ pub use nic::{NicCounters, NicEvent};
 pub use nonblocking::{waitall_recv, RecvRequest, SendRequest};
 pub use osc::Window;
 pub use pml::{LocalPmlHook, PmlEvent, PmlHook};
-pub use runtime::{Rank, SrcSel, Status, TagSel, Universe, UniverseConfig};
+pub use runtime::{Rank, RankAborted, SrcSel, Status, TagSel, Universe, UniverseConfig};
 pub use schedule::{ChannelTotals, Schedule, Step};
+
+/// The tracing subsystem (re-exported so downstream crates need no direct
+/// `mim-trace` dependency to inject a [`trace::Tracer`] into a universe).
+pub use mim_trace as trace;

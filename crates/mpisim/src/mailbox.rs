@@ -14,9 +14,13 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use mim_trace::TraceHandle;
 use mim_util::channel::{Receiver, RecvTimeoutError};
 
 use crate::envelope::{Ctx, Envelope};
+
+/// How many ring events per track a mailbox panic appends to its message.
+const FLIGHT_EVENTS: usize = 20;
 
 /// Source selector for a receive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -233,12 +237,40 @@ pub struct Mailbox {
     /// simulated application deadlocked, so we panic with a diagnostic
     /// instead of hanging the test suite.
     deadline: Duration,
+    /// High-water mark of the unexpected queue (cheap enough to always
+    /// track; surfaced per session via the monitoring library).
+    uq_high: usize,
+    /// The owning rank's trace track: when set, a deadlock panic appends
+    /// the flight-recorder dump — the last ring events of *every* track —
+    /// to its message.
+    trace: Option<TraceHandle>,
 }
 
 impl Mailbox {
     /// Wrap a channel receiver. `deadline` bounds any single blocking receive.
     pub fn new(rx: Receiver<Envelope>, deadline: Duration) -> Self {
-        Self { rx, unexpected: UnexpectedQueue::new(), deadline }
+        Self { rx, unexpected: UnexpectedQueue::new(), deadline, uq_high: 0, trace: None }
+    }
+
+    /// Attach the owning rank's trace track (flight-recorder dumps on
+    /// deadlock panics).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// The flight-recorder dump, or an empty string when tracing is off.
+    fn flight_dump(&self) -> String {
+        match &self.trace {
+            Some(t) => {
+                format!("\nflight recorder:\n{}", t.tracer().flight_report(FLIGHT_EVENTS))
+            }
+            None => String::new(),
+        }
+    }
+
+    fn queue_unexpected(&mut self, env: Envelope) {
+        self.unexpected.push(env);
+        self.uq_high = self.uq_high.max(self.unexpected.len());
     }
 
     /// Blocking receive of the earliest message matching `pat`.
@@ -256,17 +288,21 @@ impl Mailbox {
                     if pat.matches(&env) {
                         return env;
                     }
-                    self.unexpected.push(env);
+                    self.queue_unexpected(env);
                 }
                 Err(RecvTimeoutError::Timeout) => panic!(
                     "deadlock: no message matching {pat:?} within {:?} \
-                     (override with MIM_DEADLINE_MS); {} unexpected messages queued:\n{}",
+                     (override with MIM_DEADLINE_MS); {} unexpected messages queued:\n{}{}",
                     self.deadline,
                     self.unexpected.len(),
-                    self.unexpected.dump(16)
+                    self.unexpected.dump(16),
+                    self.flight_dump()
                 ),
                 Err(RecvTimeoutError::Disconnected) => {
-                    panic!("all senders disconnected while waiting for {pat:?}")
+                    panic!(
+                        "all senders disconnected while waiting for {pat:?}{}",
+                        self.flight_dump()
+                    )
                 }
             }
         }
@@ -276,7 +312,7 @@ impl Mailbox {
     /// Drains the channel into the unexpected queue first.
     pub fn iprobe(&mut self, pat: &MatchPattern) -> bool {
         while let Ok(env) = self.rx.try_recv() {
-            self.unexpected.push(env);
+            self.queue_unexpected(env);
         }
         self.unexpected.contains_match(pat)
     }
@@ -284,6 +320,11 @@ impl Mailbox {
     /// Number of queued unexpected messages (diagnostic).
     pub fn unexpected_len(&self) -> usize {
         self.unexpected.len()
+    }
+
+    /// High-water mark of the unexpected queue over the mailbox's lifetime.
+    pub fn max_unexpected_depth(&self) -> usize {
+        self.uq_high
     }
 }
 

@@ -15,6 +15,7 @@
 
 use std::sync::Arc;
 
+use mim_trace::TraceData;
 use mim_util::sync::Mutex;
 
 use crate::comm::Comm;
@@ -95,6 +96,19 @@ impl Rank {
             vtime_ns: self.now_ns(),
         };
         self.dispatch_pml(&ev);
+        // One-sided data bypasses `wire_send` (no envelope), so the trace
+        // event is recorded here to keep the dump's byte totals complete.
+        self.record_trace(
+            self.now_ns(),
+            TraceData::Send {
+                dst: dst_world,
+                bytes,
+                kind: MsgKind::OneSided.label(),
+                comm: win.comm.id(),
+                tag: 0,
+                coll: None,
+            },
+        );
     }
 
     /// `MPI_Put`: write `data` into `target`'s window at byte `offset`.

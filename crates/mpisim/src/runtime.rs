@@ -1,12 +1,13 @@
 //! The universe (job launcher) and per-rank handles.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use mim_trace::{TraceData, TraceHandle, Tracer};
 use mim_util::channel::{unbounded, Receiver, Sender};
 use mim_util::sync::{Mutex, RwLock};
 
@@ -62,6 +63,11 @@ pub struct UniverseConfig {
     pub deadline: Duration,
     /// Stack size of rank threads.
     pub stack_size: usize,
+    /// Tracing subsystem: each rank records its wire events on a per-rank
+    /// track (flight recorder + optional `MIM_TRACE` file sink).  `None`
+    /// disables tracing entirely — every record site is a single
+    /// branch-on-`Option` (see the `trace_overhead` microbench).
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl UniverseConfig {
@@ -89,6 +95,7 @@ impl UniverseConfig {
             nic_header_bytes: 0,
             deadline,
             stack_size: 4 << 20,
+            tracer: Tracer::global(),
         }
     }
 
@@ -197,6 +204,7 @@ impl Universe {
         let receivers = self.receivers.lock().take().expect("a universe can only be launched once");
         let n = receivers.len();
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (world_rank, (rx, slot)) in
@@ -214,18 +222,47 @@ impl Universe {
                     .expect("failed to spawn rank thread");
                 handles.push(handle);
             }
-            let mut first_panic = None;
             for h in handles {
                 if let Err(p) = h.join() {
-                    first_panic.get_or_insert(p);
+                    panics.push(p);
                 }
             }
-            if let Some(p) = first_panic {
-                std::panic::resume_unwind(p);
-            }
         });
+        if let Some(t) = &self.shared.cfg.tracer {
+            t.flush();
+        }
+        if !panics.is_empty() {
+            // Prefer the first payload that is not a secondary
+            // `RankAborted` cascade, so the launcher reports the root cause
+            // (e.g. a deadlock diagnosis) rather than a send-to-dead-rank
+            // symptom from a surviving rank.
+            let pos = panics.iter().position(|p| !(**p).is::<RankAborted>()).unwrap_or(0);
+            let payload = panics.swap_remove(pos);
+            match payload.downcast::<RankAborted>() {
+                // Every failing rank was a cascade: the peer exited early
+                // *without* panicking, so describe that instead.
+                Ok(ab) => panic!(
+                    "rank {} sent to rank {}, whose thread had already \
+                     exited without receiving (and without panicking)",
+                    ab.src, ab.dst
+                ),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
         results.into_iter().map(|r| r.expect("rank produced no result")).collect()
     }
+}
+
+/// Panic payload of a rank that aborted because a message's destination
+/// thread was already gone (see [`Rank::send`] & friends).  The launcher
+/// treats it as a *secondary* failure: any other rank's panic — the root
+/// cause that killed the destination — is propagated instead.
+#[derive(Debug)]
+pub struct RankAborted {
+    /// The aborting (sending) rank.
+    pub src: usize,
+    /// The destination world rank whose thread had exited.
+    pub dst: usize,
 }
 
 /// Per-rank handle: the owning thread's view of the job.
@@ -237,7 +274,7 @@ pub struct Rank {
     world_rank: usize,
     core: usize,
     shared: Arc<Shared>,
-    clock: VirtualClock,
+    clock: Rc<VirtualClock>,
     mailbox: RefCell<Mailbox>,
     local_hooks: RefCell<LocalHooks>,
     /// Per-communicator collective sequence numbers: every collective call
@@ -246,6 +283,13 @@ pub struct Rank {
     /// members, which makes the sequence consistent).
     coll_seq: RefCell<HashMap<u64, u32>>,
     world_group: Arc<Vec<usize>>,
+    /// This rank's flight-recorder track (`None` when tracing is off).
+    trace: Option<TraceHandle>,
+    /// Id of the innermost open collective span, stamped onto the `Send`
+    /// events its decomposition produces (attribution, paper §3).
+    active_coll: Cell<Option<u64>>,
+    /// Per-rank collective-span id allocator.
+    next_coll_span: Cell<u64>,
 }
 
 impl Rank {
@@ -253,15 +297,23 @@ impl Rank {
         let deadline = shared.cfg.deadline;
         let core = shared.core_of(world_rank);
         let n = shared.cfg.nprocs();
+        let trace = shared.cfg.tracer.as_ref().map(|t| t.track(format!("rank{world_rank}")));
+        let mut mailbox = Mailbox::new(rx, deadline);
+        if let Some(t) = &trace {
+            mailbox.set_trace(t.clone());
+        }
         Self {
             world_rank,
             core,
             shared,
-            clock: VirtualClock::new(),
-            mailbox: RefCell::new(Mailbox::new(rx, deadline)),
+            clock: Rc::new(VirtualClock::new()),
+            mailbox: RefCell::new(mailbox),
             local_hooks: RefCell::new(LocalHooks::default()),
             coll_seq: RefCell::new(HashMap::new()),
             world_group: Arc::new((0..n).collect()),
+            trace,
+            active_coll: Cell::new(None),
+            next_coll_span: Cell::new(0),
         }
     }
 
@@ -305,6 +357,24 @@ impl Rank {
     /// Spend `ns` nanoseconds of virtual compute time.
     pub fn compute_ns(&self, ns: f64) {
         self.clock.tick(ns);
+    }
+
+    /// A shared handle on this rank's virtual clock.  Lets code that holds a
+    /// `Rank`-independent lifetime (the monitoring library's session table)
+    /// timestamp trace events on this rank's track.
+    pub fn clock_shared(&self) -> Rc<VirtualClock> {
+        Rc::clone(&self.clock)
+    }
+
+    /// This rank's trace track, when tracing is enabled.
+    pub fn trace_handle(&self) -> Option<TraceHandle> {
+        self.trace.clone()
+    }
+
+    /// High-water mark of the unexpected-message queue (0 when nothing ever
+    /// queued; tracked regardless of whether tracing is enabled).
+    pub fn max_unexpected_depth(&self) -> usize {
+        self.mailbox.borrow().max_unexpected_depth()
     }
 
     /// Virtual sleep (identical to compute: the clock advances).
@@ -364,6 +434,19 @@ impl Rank {
             vtime_ns: sent_at,
         };
         self.dispatch_pml(&ev);
+        if let Some(t) = &self.trace {
+            t.record(
+                sent_at,
+                TraceData::Send {
+                    dst: dst_world,
+                    bytes,
+                    kind: kind.label(),
+                    comm: comm.id(),
+                    tag,
+                    coll: self.active_coll.get(),
+                },
+            );
+        }
         let env = Envelope {
             src_world: self.world_rank,
             dst_world,
@@ -375,7 +458,21 @@ impl Rank {
             sent_at_ns: sent_at,
             arrival_ns: sent_at + cost,
         };
-        self.shared.senders[dst_world].send(env).expect("destination rank is gone");
+        if self.shared.senders[dst_world].send(env).is_err() {
+            // The destination thread already exited — almost always because
+            // it (or a third rank) panicked and the job is collapsing.
+            // Don't panic here: that would route through the panic hook and
+            // race the root cause for the user's attention.  Record the
+            // failure and unwind with a typed payload the launcher treats
+            // as secondary (see `Universe::launch`).
+            if let Some(t) = &self.trace {
+                t.record(self.clock.now_ns(), TraceData::SendFailed { dst: dst_world });
+            }
+            std::panic::resume_unwind(Box::new(RankAborted {
+                src: self.world_rank,
+                dst: dst_world,
+            }));
+        }
     }
 
     /// Run the PML interposition hooks for one wire event (also used by the
@@ -399,18 +496,28 @@ impl Rank {
             SrcSel::Rank(r) => mailbox::SrcSel::World(comm.world_rank_of(r)),
         };
         let pat = MatchPattern { comm_id: comm.id(), ctx, src: src_sel, tag };
-        let env = self.mailbox.borrow_mut().recv_match(&pat);
-        self.clock.advance_to(env.arrival_ns);
-        self.clock.tick(self.shared.cfg.recv_overhead_ns);
-        env
+        self.mailbox_recv(&pat)
     }
 
     /// Receive matching a raw pattern (nonblocking-module plumbing),
     /// applying the usual virtual-time rules.
     pub(crate) fn mailbox_recv(&self, pat: &MatchPattern) -> Envelope {
-        let env = self.mailbox.borrow_mut().recv_match(pat);
+        let mut mb = self.mailbox.borrow_mut();
+        let env = mb.recv_match(pat);
         self.clock.advance_to(env.arrival_ns);
         self.clock.tick(self.shared.cfg.recv_overhead_ns);
+        if let Some(t) = &self.trace {
+            t.record(
+                self.clock.now_ns(),
+                TraceData::Recv {
+                    src: env.src_world,
+                    bytes: env.payload.len_bytes(),
+                    comm: env.comm_id,
+                    tag: env.tag,
+                    uq_depth: mb.unexpected_len(),
+                },
+            );
+        }
         env
     }
 
@@ -430,6 +537,29 @@ impl Rank {
 
     pub(crate) fn shared(&self) -> &Shared {
         &self.shared
+    }
+
+    /// Record a trace event on this rank's track (no-op when tracing is
+    /// off — a single branch on the `Option`).
+    pub(crate) fn record_trace(&self, t_ns: f64, data: TraceData) {
+        if let Some(t) = &self.trace {
+            t.record(t_ns, data);
+        }
+    }
+
+    /// Open a collective decomposition span: records `CollBegin` now and
+    /// `CollEnd` when the guard drops, and stamps the span id onto every
+    /// `Send` event recorded while it is open — that is how a trace ties a
+    /// wire message back to the collective that produced it.  Returns `None`
+    /// (and records nothing) when tracing is off; spans nest, restoring the
+    /// enclosing span's id on drop.
+    pub(crate) fn coll_span(&self, name: &'static str, comm: &Comm) -> Option<CollSpanGuard<'_>> {
+        let t = self.trace.as_ref()?;
+        let id = self.next_coll_span.get();
+        self.next_coll_span.set(id + 1);
+        let prev = self.active_coll.replace(Some(id));
+        t.record(self.clock.now_ns(), TraceData::CollBegin { name, comm: comm.id(), id });
+        Some(CollSpanGuard { rank: self, name, comm_id: comm.id(), id, prev })
     }
 
     // ----- point-to-point ----------------------------------------------------
@@ -490,11 +620,13 @@ impl Rank {
 
     /// Barrier (dissemination algorithm).
     pub fn barrier(&self, comm: &Comm) {
+        let _span = self.coll_span("barrier_dissemination", comm);
         collectives::barrier(self, comm)
     }
 
     /// Broadcast from `root` (binomial tree).
     pub fn bcast<T: Scalar>(&self, comm: &Comm, root: usize, data: &mut Vec<T>) {
+        let _span = self.coll_span("bcast_binomial", comm);
         collectives::bcast_binomial(self, comm, root, data)
     }
 
@@ -506,31 +638,37 @@ impl Rank {
         data: &[T],
         op: impl Fn(T, T) -> T,
     ) -> Option<Vec<T>> {
+        let _span = self.coll_span("reduce_binomial", comm);
         collectives::reduce_binomial(self, comm, root, data, op)
     }
 
     /// Allreduce (recursive doubling with non-power-of-two folding).
     pub fn allreduce<T: Scalar>(&self, comm: &Comm, data: &[T], op: impl Fn(T, T) -> T) -> Vec<T> {
+        let _span = self.coll_span("allreduce_recursive_doubling", comm);
         collectives::allreduce_recursive_doubling(self, comm, data, op)
     }
 
     /// Gather equal-size contributions at `root` (linear).
     pub fn gather<T: Scalar>(&self, comm: &Comm, root: usize, data: &[T]) -> Option<Vec<T>> {
+        let _span = self.coll_span("gather_linear", comm);
         collectives::gather_linear(self, comm, root, data)
     }
 
     /// Allgather equal-size contributions (ring).
     pub fn allgather<T: Scalar>(&self, comm: &Comm, data: &[T]) -> Vec<T> {
+        let _span = self.coll_span("allgather_ring", comm);
         collectives::allgather_ring(self, comm, data)
     }
 
     /// Scatter equal-size chunks from `root` (linear).
     pub fn scatter<T: Scalar>(&self, comm: &Comm, root: usize, data: Option<&[T]>) -> Vec<T> {
+        let _span = self.coll_span("scatter_linear", comm);
         collectives::scatter_linear(self, comm, root, data)
     }
 
     /// All-to-all personalized exchange (ring-offset pairwise).
     pub fn alltoall<T: Scalar>(&self, comm: &Comm, data: &[T]) -> Vec<T> {
+        let _span = self.coll_span("alltoall_pairwise", comm);
         collectives::alltoall_pairwise(self, comm, data)
     }
 
@@ -541,11 +679,13 @@ impl Rank {
         data: &[T],
         op: impl Fn(T, T) -> T,
     ) -> Vec<T> {
+        let _span = self.coll_span("reduce_scatter_block", comm);
         collectives::reduce_scatter_block(self, comm, data, op)
     }
 
     /// Inclusive prefix scan (`MPI_Scan`).
     pub fn scan<T: Scalar>(&self, comm: &Comm, data: &[T], op: impl Fn(T, T) -> T) -> Vec<T> {
+        let _span = self.coll_span("scan_inclusive", comm);
         collectives::scan_inclusive(self, comm, data, op)
     }
 
@@ -558,6 +698,7 @@ impl Rank {
         data: &mut Vec<T>,
         seg_items: usize,
     ) -> usize {
+        let _span = self.coll_span("bcast_binary_segmented", comm);
         collectives::bcast_binary_segmented(self, comm, root, data, seg_items)
     }
 
@@ -566,6 +707,7 @@ impl Rank {
     /// `MPI_Comm_split`: members with equal `color` form a new communicator,
     /// ordered by `(key, parent rank)`.  Collective over `comm`.
     pub fn comm_split(&self, comm: &Comm, color: i64, key: i64) -> Comm {
+        let _span = self.coll_span("comm_split", comm);
         // Gather (color, key) from every member.
         let all = collectives::allgather_ring(self, comm, &[color, key]);
         let n = comm.size();
@@ -594,6 +736,27 @@ impl Rank {
     /// Duplicate a communicator (same group, fresh matching id).
     pub fn comm_dup(&self, comm: &Comm) -> Comm {
         self.comm_split(comm, 0, comm.rank() as i64)
+    }
+}
+
+/// RAII guard of an open collective span (see [`Rank::coll_span`]).
+pub(crate) struct CollSpanGuard<'a> {
+    rank: &'a Rank,
+    name: &'static str,
+    comm_id: u64,
+    id: u64,
+    prev: Option<u64>,
+}
+
+impl Drop for CollSpanGuard<'_> {
+    fn drop(&mut self) {
+        self.rank.active_coll.set(self.prev);
+        if let Some(t) = &self.rank.trace {
+            t.record(
+                self.rank.clock.now_ns(),
+                TraceData::CollEnd { name: self.name, comm: self.comm_id, id: self.id },
+            );
+        }
     }
 }
 

@@ -13,8 +13,10 @@
 //!   two paths against each other.
 
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use mim_topology::Machine;
+use mim_trace::{TraceData, Tracer};
 
 use crate::collectives::binomial_peers;
 use crate::comm::Comm;
@@ -384,6 +386,7 @@ pub fn bcast_binary_segmented(n: usize, root: usize, bytes: u64, seg_bytes: u64)
 /// Panics when the schedule's rank count differs from the communicator size.
 pub fn execute(rank: &Rank, comm: &Comm, schedule: &Schedule) {
     assert_eq!(schedule.nranks(), comm.size(), "schedule/communicator size mismatch");
+    let _span = rank.coll_span("schedule_execute", comm);
     let tag = rank.next_coll_tag(comm);
     for step in schedule.rank_steps(comm.rank()) {
         match *step {
@@ -417,7 +420,15 @@ pub fn evaluate(
     send_overhead_ns: f64,
     recv_overhead_ns: f64,
 ) -> Vec<f64> {
-    simulate(schedule, machine, rank_to_core, send_overhead_ns, recv_overhead_ns, false)
+    evaluate_traced(
+        schedule,
+        machine,
+        rank_to_core,
+        send_overhead_ns,
+        recv_overhead_ns,
+        false,
+        Tracer::global(),
+    )
 }
 
 /// Like [`evaluate`] but with per-node NIC contention: cross-node sends of
@@ -432,7 +443,41 @@ pub fn evaluate_contended(
     send_overhead_ns: f64,
     recv_overhead_ns: f64,
 ) -> Vec<f64> {
-    simulate(schedule, machine, rank_to_core, send_overhead_ns, recv_overhead_ns, true)
+    evaluate_traced(
+        schedule,
+        machine,
+        rank_to_core,
+        send_overhead_ns,
+        recv_overhead_ns,
+        true,
+        Tracer::global(),
+    )
+}
+
+/// [`evaluate`] / [`evaluate_contended`] with an explicit tracer: each
+/// evaluator step is recorded as a `des` event on a dedicated track (tests
+/// inject a tracer here; the plain entry points use the `MIM_TRACE` global
+/// one).  The instrumentation only *observes* the engine — it performs no
+/// float arithmetic of its own — so results stay bit-identical to the
+/// untraced run and to the scan reference.
+pub fn evaluate_traced(
+    schedule: &Schedule,
+    machine: &Machine,
+    rank_to_core: &[usize],
+    send_overhead_ns: f64,
+    recv_overhead_ns: f64,
+    contention: bool,
+    tracer: Option<Arc<Tracer>>,
+) -> Vec<f64> {
+    simulate(
+        schedule,
+        machine,
+        rank_to_core,
+        send_overhead_ns,
+        recv_overhead_ns,
+        contention,
+        tracer,
+    )
 }
 
 /// Ready-queue entry ordered as a *min*-heap on `(clock, rank)` — the same
@@ -477,9 +522,11 @@ fn simulate(
     send_overhead_ns: f64,
     recv_overhead_ns: f64,
     contention: bool,
+    tracer: Option<Arc<Tracer>>,
 ) -> Vec<f64> {
     let n = schedule.nranks();
     assert_eq!(rank_to_core.len(), n, "rank/core mapping size mismatch");
+    let trace = tracer.as_ref().map(|t| t.track("des".to_string()));
     let mut clock = vec![0.0f64; n];
     let mut pc = vec![0usize; n];
     let mut channels: HashMap<(usize, usize), VecDeque<f64>> = HashMap::new();
@@ -496,7 +543,11 @@ fn simulate(
     }
     while remaining > 0 {
         let Some(Ready(_, r)) = heap.pop() else {
-            panic!("schedule deadlocked during evaluation");
+            let flight = match &tracer {
+                Some(t) => format!("\nflight recorder:\n{}", t.flight_report(32)),
+                None => String::new(),
+            };
+            panic!("schedule deadlocked during evaluation{flight}");
         };
         match schedule.steps[r][pc[r]] {
             Step::Send { peer, bytes } => {
@@ -516,14 +567,26 @@ fn simulate(
                 if parked.remove(&(r, peer)) {
                     heap.push(Ready(clock[peer], peer));
                 }
+                if let Some(t) = &trace {
+                    t.record(clock[r], TraceData::DesStep { rank: r, op: "send", peer, bytes });
+                }
             }
             Step::Recv { peer } => {
                 let Some(arrival) = channels.get_mut(&(peer, r)).and_then(VecDeque::pop_front)
                 else {
                     parked.insert((peer, r));
+                    if let Some(t) = &trace {
+                        t.record(
+                            clock[r],
+                            TraceData::DesStep { rank: r, op: "park", peer, bytes: 0 },
+                        );
+                    }
                     continue;
                 };
                 clock[r] = clock[r].max(arrival) + recv_overhead_ns;
+                if let Some(t) = &trace {
+                    t.record(clock[r], TraceData::DesStep { rank: r, op: "recv", peer, bytes: 0 });
+                }
             }
         }
         pc[r] += 1;
@@ -531,6 +594,9 @@ fn simulate(
         if pc[r] < schedule.steps[r].len() {
             heap.push(Ready(clock[r], r));
         }
+    }
+    if let Some(t) = &tracer {
+        t.flush();
     }
     clock
 }

@@ -1,5 +1,7 @@
 //! Property-based tests for the message-passing runtime.
 
+use mim_core::{Flags, Monitoring};
+use mim_mpisim::trace::{TraceData, Tracer};
 use mim_mpisim::{schedule, Scalar, SrcSel, TagSel, Universe, UniverseConfig};
 use mim_topology::{Machine, Placement};
 use mim_util::props;
@@ -194,6 +196,117 @@ props! {
             let expect: i64 = vals2[..=me].iter().sum();
             assert_eq!(out, vec![expect]);
         });
+    }
+
+    /// The flight-recorder trace and the monitoring library observe the same
+    /// wire events: for a random workload mixing point-to-point, collective
+    /// and one-sided traffic, the per-pair message counts and byte totals
+    /// reconstructed from the trace rings (between each rank's session
+    /// `start` and `suspend` markers) equal the matrices produced by
+    /// `rootgather_data`, for every `Flags` selection.
+    fn trace_totals_match_monitoring_matrices(g, cases = 6) {
+        let n = g.gen_range(2usize..6);
+        // Random point-to-point traffic: (src, dst, bytes), executed in
+        // program order by every rank (sends are eager, so this cannot
+        // deadlock regardless of the generated order).
+        let p2p: Vec<(usize, usize, usize)> = g.vec(0..8, |g| {
+            let src = g.index(n);
+            let dst = g.index(n);
+            (src, dst, g.gen_range(0usize..300))
+        });
+        let bcast_root = g.index(n);
+        let bcast_len = g.gen_range(0usize..200);
+        let reduce_len = g.gen_range(1usize..8);
+        // One-sided epoch: every rank puts a random amount into a random
+        // target window.
+        let osc: Vec<(usize, usize)> = (0..n).map(|_| (g.index(n), g.gen_range(0usize..64))).collect();
+
+        const FLAG_SETS: [Flags; 4] =
+            [Flags::P2P_ONLY, Flags::COLL_ONLY, Flags::OSC_ONLY, Flags::ALL_COMM];
+        let tracer = Tracer::new(1 << 14); // deep rings: nothing may drop
+        let mut cfg = UniverseConfig::new(Machine::cluster(2, 1, 8), Placement::packed(n));
+        cfg.tracer = Some(tracer.clone());
+        let (p2p2, osc2) = (p2p.clone(), osc.clone());
+        let gathered = Universe::new(cfg).launch(move |rank| {
+            let world = rank.comm_world();
+            let me = world.rank();
+            let mon = Monitoring::init(rank).unwrap();
+            let msid = mon.start(rank, &world).unwrap();
+            for &(src, dst, len) in &p2p2 {
+                if me == src {
+                    rank.send(&world, dst, 7, &vec![0u8; len]);
+                }
+                if me == dst {
+                    rank.recv::<u8>(&world, SrcSel::Rank(src), TagSel::Is(7));
+                }
+            }
+            let mut data = if me == bcast_root { vec![1u8; bcast_len] } else { vec![] };
+            rank.bcast(&world, bcast_root, &mut data);
+            rank.allreduce(&world, &vec![me as u64; reduce_len], |a, b| a + b);
+            let win = rank.win_create(&world, vec![0u8; 64]);
+            let (target, len) = osc2[me];
+            rank.put(&win, target, 0, &vec![0u8; len]);
+            rank.fence(&win);
+            rank.win_free(win);
+            mon.suspend(msid).unwrap();
+            let out: Vec<_> = FLAG_SETS
+                .iter()
+                .map(|&f| mon.rootgather_data(rank, msid, 0, f).unwrap())
+                .collect();
+            mon.free(msid).unwrap();
+            mon.finalize(rank).unwrap();
+            out
+        });
+
+        // Reconstruct per-(src, dst, kind) totals from the trace rings: on
+        // each rank's track, every `send` between that rank's session start
+        // and suspend markers is traffic the session observed.
+        let mut totals: std::collections::HashMap<(usize, usize, &'static str), (u64, u64)> =
+            std::collections::HashMap::new();
+        for (track, events) in tracer.snapshot() {
+            let Some(src) = track.strip_prefix("rank").and_then(|s| s.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            let mut watching = false;
+            for ev in &events {
+                match ev.data {
+                    TraceData::Session { action: "start", .. } => watching = true,
+                    TraceData::Session { action: "suspend", .. } => watching = false,
+                    TraceData::Send { dst, bytes, kind, .. } if watching => {
+                        let e = totals.entry((src, dst, kind)).or_default();
+                        e.0 += 1;
+                        e.1 += bytes;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let kinds_of = |f: Flags| -> Vec<&'static str> {
+            let mut k = vec![];
+            if f.contains(Flags::P2P_ONLY) { k.push("p2p"); }
+            if f.contains(Flags::COLL_ONLY) { k.push("coll"); }
+            if f.contains(Flags::OSC_ONLY) { k.push("osc"); }
+            k
+        };
+        for (fi, &flags) in FLAG_SETS.iter().enumerate() {
+            let data = gathered[0][fi].as_ref().expect("root 0 receives the matrices");
+            for s in 0..n {
+                for d in 0..n {
+                    let (mut count, mut bytes) = (0u64, 0u64);
+                    for kind in kinds_of(flags) {
+                        if let Some(&(c, b)) = totals.get(&(s, d, kind)) {
+                            count += c;
+                            bytes += b;
+                        }
+                    }
+                    assert_eq!(data.counts.get(s, d), count,
+                        "count mismatch {s}->{d} under {flags:?}");
+                    assert_eq!(data.sizes.get(s, d), bytes,
+                        "bytes mismatch {s}->{d} under {flags:?}");
+                }
+            }
+        }
     }
 
     /// Segmented broadcast delivers identical data for any segment size.

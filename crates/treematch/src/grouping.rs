@@ -45,16 +45,19 @@ impl Dsu {
 
 /// Greedy pair-merge grouping: walk the edge list by decreasing weight and
 /// merge clusters while they fit in the arity; pack leftover clusters into
-/// groups of exactly `a` with first-fit-decreasing (splitting a cluster when
-/// packing requires it).  `O(E log E)` — the fast path for large instances.
+/// groups of (at most) `a` with first-fit-decreasing (splitting a cluster
+/// when packing requires it).  `O(E log E)` — the fast path for large
+/// instances.
 ///
-/// Returns `k / a` groups of exactly `a` object indices.
+/// Returns `ceil(k / a)` groups of at most `a` object indices; when
+/// `k % a == 0` every group has exactly `a`, otherwise the spare capacity
+/// ends up in the trailing group(s).  Callers that need uniform groups
+/// (the TreeMatch tree construction does) pad with virtual objects first.
 ///
 /// # Panics
-/// Panics when `k` is not a multiple of `a` (callers pad with virtual
-/// objects first).
+/// Panics when `a == 0`.
 pub fn group_greedy(k: usize, a: usize, pairs: &[(usize, usize, u64)]) -> Vec<Vec<usize>> {
-    assert!(a > 0 && k.is_multiple_of(a), "{k} objects cannot form groups of {a}");
+    assert!(a > 0, "group arity must be positive");
     let mut sorted: Vec<&(usize, usize, u64)> = pairs.iter().collect();
     sorted.sort_unstable_by(|x, y| y.2.cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
     let mut dsu = Dsu::new(k);
@@ -71,9 +74,13 @@ pub fn group_greedy(k: usize, a: usize, pairs: &[(usize, usize, u64)]) -> Vec<Ve
     }
     let mut clusters: Vec<Vec<usize>> = clusters.into_values().collect();
     clusters.sort_unstable_by(|x, y| y.len().cmp(&x.len()).then(x[0].cmp(&y[0])));
-    // First-fit-decreasing into k/a bins of capacity a, splitting when
-    // nothing fits whole.
-    let nbins = k / a;
+    // First-fit-decreasing into ceil(k/a) bins of capacity a, splitting when
+    // nothing fits whole.  `div_ceil` is essential: with `k / a` bins and
+    // `k % a != 0` the total capacity would be short of `k`, the split
+    // branch below would find every bin full (`take == 0`), and
+    // `drain(..0)` would loop forever in release builds (the debug_assert
+    // is compiled out).
+    let nbins = k.div_ceil(a);
     let mut bins: Vec<Vec<usize>> = vec![Vec::with_capacity(a); nbins];
     for mut cluster in clusters {
         while !cluster.is_empty() {
@@ -270,10 +277,37 @@ mod tests {
         assert!(grouping_value(&e, &aff) >= grouping_value(&g, &aff));
     }
 
+    /// Partition check for the non-divisible case: `ceil(k/a)` groups of at
+    /// most `a`, together covering every object exactly once.
+    fn check_partial_partition(groups: &[Vec<usize>], k: usize, a: usize) {
+        assert_eq!(groups.len(), k.div_ceil(a));
+        let mut seen = vec![false; k];
+        for g in groups {
+            assert!(!g.is_empty() && g.len() <= a, "group size {} out of 1..={a}", g.len());
+            for &x in g {
+                assert!(!seen[x], "object {x} appears twice");
+                seen[x] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
     #[test]
-    #[should_panic]
-    fn non_divisible_panics() {
-        group_greedy(7, 2, &[]);
+    fn greedy_handles_non_divisible_counts() {
+        // Regression: with k % a != 0, `k / a` bins had total capacity < k,
+        // so packing the leftover spilled into a `drain(..0)` busy loop in
+        // release builds.  Now the last (partial) bin absorbs the remainder.
+        for (k, a) in [(7, 2), (5, 4), (9, 4), (1, 3), (10, 3)] {
+            let groups = group_greedy(k, a, &[]);
+            check_partial_partition(&groups, k, a);
+        }
+        // And with real affinity: the obvious pairs still form, the odd one
+        // out lands in the partial group.
+        let aff = paired_affinity();
+        let mut pairs = aff.pairs();
+        pairs.retain(|&(i, j, _)| i < 7 && j < 7); // drop object 7's edges
+        let groups = group_greedy(7, 2, &pairs);
+        check_partial_partition(&groups, 7, 2);
     }
 
     #[test]

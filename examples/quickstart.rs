@@ -6,6 +6,12 @@
 //! the per-pair matrices back.
 //!
 //! Run with: `cargo run -p mim-apps --example quickstart`
+//!
+//! To also capture a structured trace of every wire event (sends, receive
+//! completions, collective spans, session transitions), set `MIM_TRACE`:
+//! `MIM_TRACE=trace.jsonl cargo run -p mim-apps --example quickstart`
+//! (a non-`.jsonl` path gets chrome trace-event JSON for `about:tracing`;
+//! see the "Observability" section of the README).
 
 use mim_core::{Flags, Monitoring};
 use mim_mpisim::{Universe, UniverseConfig};

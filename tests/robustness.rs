@@ -5,6 +5,7 @@
 use std::time::Duration;
 
 use mim_core::{Flags, MonError, Monitoring, Msid};
+use mim_mpisim::trace::Tracer;
 use mim_mpisim::{SrcSel, TagSel, Universe, UniverseConfig};
 use mim_topology::{Machine, Placement};
 
@@ -35,6 +36,75 @@ fn rank_panic_propagates_to_the_launcher() {
         }
         // The other ranks return normally — the launcher must still
         // propagate rank 2's panic.
+    });
+}
+
+#[test]
+fn deadlock_panic_includes_flight_recorder_dump() {
+    let mut cfg = UniverseConfig::new(Machine::cluster(2, 1, 4), Placement::packed(2));
+    cfg.deadline = Duration::from_millis(200);
+    cfg.tracer = Some(Tracer::new(64));
+    let u = Universe::new(cfg);
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let peer = 1 - world.rank();
+            // One successful exchange so both rings hold history...
+            rank.send(&world, peer, 0, &[1u8, 2, 3]);
+            rank.recv::<u8>(&world, SrcSel::Rank(peer), TagSel::Is(0));
+            // ...then both ranks wait for a message nobody will send.
+            rank.recv::<u8>(&world, SrcSel::Rank(peer), TagSel::Is(99));
+        });
+    }))
+    .expect_err("crossed receives must deadlock");
+    let msg = payload.downcast_ref::<String>().expect("deadlock panics carry a String");
+    assert!(msg.contains("deadlock"), "unexpected panic: {msg}");
+    assert!(msg.contains("flight recorder:"), "missing flight dump: {msg}");
+    assert!(
+        msg.contains("[rank0]") && msg.contains("[rank1]"),
+        "the dump must cover every rank's track: {msg}"
+    );
+    assert!(msg.contains("send p2p 3B"), "the dump should show the recorded sends: {msg}");
+}
+
+#[test]
+#[should_panic(expected = "boom")]
+fn root_cause_panic_wins_over_send_to_dead_rank() {
+    let u = quick_deadline(2);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        if rank.world_rank() == 1 {
+            panic!("boom");
+        }
+        // Keep sending until the dead peer's channel closes and the send
+        // unwinds: the launcher must still report rank 1's "boom", not this
+        // rank's secondary send-to-dead-rank failure.  (If the peer's
+        // receiver somehow outlives the whole loop, we return normally and
+        // "boom" still propagates.)
+        for _ in 0..10_000 {
+            rank.send_synthetic(&world, 1, 0, 8);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "whose thread had already exited")]
+fn send_to_exited_rank_is_described() {
+    let u = quick_deadline(2);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        if rank.world_rank() == 1 {
+            return; // exits without receiving — and without panicking
+        }
+        // With no root-cause panic anywhere, the launcher must synthesize a
+        // descriptive message from the RankAborted payload instead of the
+        // seed's bare "destination rank is gone" expect.
+        for _ in 0..30_000 {
+            rank.send_synthetic(&world, 1, 0, 8);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        unreachable!("peer receiver should have dropped within 30s");
     });
 }
 
