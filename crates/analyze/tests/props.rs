@@ -1,0 +1,128 @@
+//! Program-level property tests: randomly built *valid* plans must come out
+//! clean, and targeted corruptions (wrong tag, wrong root, wrong collective
+//! kind) must each be flagged — and only the corrupted plan, never its
+//! pristine twin.
+//!
+//! Validity of the generator: messages are emitted in one global order, the
+//! send appended to `src` and the exact-selector receive appended to `dst`
+//! at the same point of that order.  By induction over the order every
+//! operation only waits on earlier-ordered ones, so the plan always
+//! completes; collectives are only inserted at global phase boundaries that
+//! no message crosses backwards.
+
+use mim_analyze::{analyze_program, Code, CollKind, Op, Program, Src, Tag, Verdict, WORLD};
+use mim_util::prop::Gen;
+
+/// A plan under construction: per-rank op lists (mutable, unlike
+/// [`Program`]) plus the positions of every send and collective op.
+struct Draft {
+    n: usize,
+    ops: Vec<Vec<Op>>,
+    sends: Vec<(usize, usize)>,
+    colls: Vec<(usize, usize)>,
+}
+
+impl Draft {
+    fn build(&self) -> Program {
+        let mut p = Program::new("prop-plan", self.n);
+        for (r, ops) in self.ops.iter().enumerate() {
+            for &op in ops {
+                p.push(r, op);
+            }
+        }
+        p
+    }
+}
+
+/// A random valid plan.  With `rooted_only`, every phase boundary is a
+/// rooted collective and there is at least one boundary.
+fn random_valid_draft(g: &mut Gen, rooted_only: bool) -> Draft {
+    let n = g.gen_range(2usize..9);
+    let mut d = Draft { n, ops: vec![Vec::new(); n], sends: Vec::new(), colls: Vec::new() };
+    let phases = if rooted_only { g.gen_range(2usize..4) } else { g.gen_range(1usize..4) };
+    for phase in 0..phases {
+        for _ in 0..g.gen_range(1usize..12) {
+            let src = g.index(n);
+            let dst = (src + 1 + g.index(n - 1)) % n;
+            let tag = g.gen_range(0u32..4);
+            let bytes = g.gen_range(1u64..10_000);
+            d.sends.push((src, d.ops[src].len()));
+            d.ops[src].push(Op::Send { comm: WORLD, dst, tag, bytes });
+            d.ops[dst].push(Op::Recv { comm: WORLD, src: Src::Rank(src), tag: Tag::Is(tag) });
+        }
+        if phase + 1 < phases {
+            let (kind, root) = if rooted_only {
+                (*g.choose(&[CollKind::Bcast, CollKind::Reduce]), Some(g.index(n)))
+            } else {
+                match g.index(4) {
+                    0 => (CollKind::Barrier, None),
+                    1 => (CollKind::Allreduce, None),
+                    2 => (CollKind::Bcast, Some(g.index(n))),
+                    _ => (CollKind::Reduce, Some(g.index(n))),
+                }
+            };
+            for r in 0..n {
+                d.colls.push((r, d.ops[r].len()));
+                d.ops[r].push(Op::Coll { comm: WORLD, kind, root });
+            }
+        }
+    }
+    d
+}
+
+fn has_code(report: &mim_analyze::Report, code: Code) -> bool {
+    report.diags.iter().any(|d| d.code == code)
+}
+
+mim_util::props! {
+    /// The generator only produces clean, deadlock-free plans.
+    fn random_valid_programs_are_clean(g) {
+        let report = analyze_program(&random_valid_draft(g, false).build());
+        assert!(matches!(report.verdict, Verdict::DeadlockFree), "{report}");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    /// Re-tagging one send breaks its match: the channel loses a message
+    /// some exact-tag receive was counting on, so the plan either stalls or
+    /// leaves the send unreceived — never clean.
+    fn wrong_tag_is_flagged(g) {
+        let mut d = random_valid_draft(g, false);
+        assert!(analyze_program(&d.build()).is_clean(), "pristine twin flagged");
+        let &(r, i) = g.choose(&d.sends);
+        let Op::Send { ref mut tag, .. } = d.ops[r][i] else { unreachable!() };
+        *tag = 99; // no receive in the plan admits tag 99
+        let report = analyze_program(&d.build());
+        assert!(!report.is_clean(), "wrong tag not flagged: {report}");
+        assert!(
+            !matches!(report.verdict, Verdict::DeadlockFree) || has_code(&report, Code::A003),
+            "wrong tag left no trace: {report}"
+        );
+    }
+
+    /// One rank disagreeing on a rooted collective's root is an A007.
+    fn wrong_root_is_flagged(g) {
+        let mut d = random_valid_draft(g, true);
+        assert!(analyze_program(&d.build()).is_clean(), "pristine twin flagged");
+        let &(r, i) = g.choose(&d.colls);
+        let n = d.n;
+        let Op::Coll { ref mut root, .. } = d.ops[r][i] else { unreachable!() };
+        *root = Some((root.unwrap() + 1 + g.index(n - 1)) % n);
+        let report = analyze_program(&d.build());
+        assert!(!report.is_clean(), "wrong root not flagged: {report}");
+        assert!(has_code(&report, Code::A007), "expected A007: {report}");
+    }
+
+    /// One rank issuing a different collective at the same occurrence is an
+    /// A006 (kind mismatch).
+    fn wrong_kind_is_flagged(g) {
+        let mut d = random_valid_draft(g, true);
+        assert!(analyze_program(&d.build()).is_clean(), "pristine twin flagged");
+        let &(r, i) = g.choose(&d.colls);
+        let Op::Coll { ref mut kind, ref mut root, .. } = d.ops[r][i] else { unreachable!() };
+        *kind = CollKind::Alltoall;
+        *root = None;
+        let report = analyze_program(&d.build());
+        assert!(!report.is_clean(), "wrong kind not flagged: {report}");
+        assert!(has_code(&report, Code::A006), "expected A006: {report}");
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`collbench`] — the collective-optimization pipeline of Sec 6.3 (Fig 5);
 //! * [`netpredict`] — network-utilization sampling and prediction (the
 //!   paper's Sec 7 outlook);
+//! * [`plan`] — static communication plans: the app kernels lowered into
+//!   `mim-analyze` programs for ahead-of-run verification;
 //! * [`stats`] — means, confidence intervals, Welch's t-test (Fig 4's
 //!   statistics);
 //! * [`output`] — CSV and ASCII-chart emitters for the benchmark harness.
@@ -20,6 +22,7 @@ pub mod collbench;
 pub mod groups;
 pub mod netpredict;
 pub mod output;
+pub mod plan;
 pub mod sparse;
 pub mod stats;
 pub mod stencil;

@@ -81,7 +81,7 @@ pub fn jacobi_reference(cfg: StencilConfig) -> Vec<f64> {
     u
 }
 
-const HALO_TAG_BASE: u32 = 0x00A0_0000;
+pub(crate) const HALO_TAG_BASE: u32 = 0x00A0_0000;
 
 /// Run the distributed Jacobi sweep over `comm` (process grid
 /// `prows × pcols`, row-major rank numbering).  Returns this rank's block

@@ -1,0 +1,33 @@
+//! Microbenchmark of the static analyzer: full `analyze()` (lowering +
+//! well-formedness + canonical replay + channel totals) over representative
+//! plan shapes.  The analyzer runs in CI on every push and inside
+//! `Schedule::validate`, so its cost on dense plans is worth tracking.
+
+use mim_util::bench::{black_box, Bench};
+
+use mim_apps::plan::GroupedAllgatherPlan;
+use mim_mpisim::schedule;
+
+fn main() {
+    let mut b = Bench::new("analyze_schedule");
+
+    // Dense point-to-point: n(n-1) messages in one world channel set.
+    let alltoall = schedule::alltoall_pairwise(192, 4096);
+    b.iter("analyze_schedule", "alltoall_192", || {
+        black_box(alltoall.analyze());
+    });
+
+    // Deep, sparse pattern with many steps per rank (segmented pipeline).
+    let segmented = schedule::bcast_binary_segmented(192, 0, 4 << 20, 64 << 10);
+    b.iter("analyze_schedule", "bcast_seg_192", || {
+        black_box(segmented.analyze());
+    });
+
+    // Sub-communicator scoping: 48 groups of 4 ringing concurrently.
+    let grouped = GroupedAllgatherPlan { nprocs: 192, group_size: 4, block_bytes: 1024 };
+    b.iter("analyze_schedule", "grouped_192x4", || {
+        black_box(mim_analyze::analyze(&grouped));
+    });
+
+    b.finish();
+}

@@ -1,0 +1,223 @@
+//! `mim-analyze` — static communication-graph verification from the command
+//! line.
+//!
+//! Analyzes a named built-in plan (collective schedule generators and app
+//! kernels) or a JSON plan description, and prints the report as
+//! human-readable text or JSON.  Exit status: 0 when the plan is clean and
+//! deadlock-free, 1 when the analyzer found problems, 2 on usage errors.
+//!
+//! ```text
+//! mim-analyze bcast_binomial --n 48 --root 3 --bytes 65536
+//! mim-analyze --plan-file plan.json --json
+//! mim-analyze --all --n 192
+//! ```
+
+use std::process::ExitCode;
+
+use mim_analyze::{analyze_program, program_from_json, Program, Report, Verdict};
+use mim_apps::collbench::CollectiveKind;
+use mim_apps::plan::{CgPlan, CollectivePlan, GroupedAllgatherPlan};
+use mim_apps::stencil::StencilConfig;
+use mim_mpisim::schedule;
+
+const USAGE: &str = "usage: mim-analyze <plan> [options]
+       mim-analyze --plan-file <file.json> [--json]
+       mim-analyze --all [options]
+       mim-analyze --list
+
+options:
+  --n <ranks>      number of ranks            (default 8)
+  --root <rank>    root for rooted plans      (default 0)
+  --bytes <bytes>  payload size               (default 4096)
+  --seg <bytes>    segment size for segmented plans (default bytes/4)
+  --json           emit the JSON report instead of text
+  --quiet          only set the exit status, print nothing on success
+
+exit status: 0 clean, 1 problems found, 2 usage error";
+
+/// Shape parameters shared by every built-in plan.
+struct Shape {
+    n: usize,
+    root: usize,
+    bytes: u64,
+    seg: u64,
+}
+
+const PLANS: &[&str] = &[
+    "bcast_binomial",
+    "bcast_binary",
+    "bcast_binary_segmented",
+    "reduce_binomial",
+    "reduce_binary",
+    "allgather_ring",
+    "barrier_dissemination",
+    "allreduce_recursive_doubling",
+    "alltoall_pairwise",
+    "stencil",
+    "cg",
+    "grouped_allgather",
+    "collbench_reduce_binary",
+    "collbench_bcast_binomial",
+];
+
+/// Largest divisor of `n` not exceeding `limit` (always ≥ 1).
+fn divisor_at_most(n: usize, limit: usize) -> usize {
+    (1..=limit.min(n)).rev().find(|d| n.is_multiple_of(*d)).unwrap_or(1)
+}
+
+/// Lower one named built-in plan at the given shape.
+fn built_in(name: &str, s: &Shape) -> Result<Program, String> {
+    use mim_analyze::CommPlan;
+    let (n, root, bytes) = (s.n, s.root, s.bytes);
+    if root >= n {
+        return Err(format!("--root {root} out of range for --n {n}"));
+    }
+    let plan = match name {
+        "bcast_binomial" => schedule::bcast_binomial(n, root, bytes).lower(),
+        "bcast_binary" => schedule::bcast_binary(n, root, bytes).lower(),
+        "bcast_binary_segmented" => schedule::bcast_binary_segmented(n, root, bytes, s.seg).lower(),
+        "reduce_binomial" => schedule::reduce_binomial(n, root, bytes).lower(),
+        "reduce_binary" => schedule::reduce_binary(n, root, bytes).lower(),
+        "allgather_ring" => schedule::allgather_ring(n, bytes).lower(),
+        "barrier_dissemination" => schedule::barrier_dissemination(n).lower(),
+        "allreduce_recursive_doubling" => schedule::allreduce_recursive_doubling(n, bytes).lower(),
+        "alltoall_pairwise" => schedule::alltoall_pairwise(n, bytes).lower(),
+        "stencil" => {
+            // Factor n into the squarest process grid and give each rank a
+            // 4x4 block.
+            let prows = divisor_at_most(n, n.isqrt());
+            let pcols = n / prows;
+            StencilConfig { rows: prows * 4, cols: pcols * 4, prows, pcols, iters: 3 }.lower()
+        }
+        "cg" => CgPlan { nprocs: n, iters: 25 }.lower(),
+        "grouped_allgather" => {
+            // Prefer several small groups; a prime n falls back to one
+            // group of n (a group of 1 would ring zero messages).
+            let d = divisor_at_most(n, 4.max(n.isqrt()));
+            let group_size = if d > 1 { d } else { n };
+            GroupedAllgatherPlan { nprocs: n, group_size, block_bytes: bytes }.lower()
+        }
+        "collbench_reduce_binary" => {
+            CollectivePlan { kind: CollectiveKind::ReduceBinary, nprocs: n, bytes }.lower()
+        }
+        "collbench_bcast_binomial" => {
+            CollectivePlan { kind: CollectiveKind::BcastBinomial, nprocs: n, bytes }.lower()
+        }
+        other => return Err(format!("unknown plan '{other}' (try --list)")),
+    };
+    Ok(plan)
+}
+
+fn emit(report: &Report, json: bool, quiet: bool) -> bool {
+    let clean = report.is_clean() && matches!(report.verdict, Verdict::DeadlockFree);
+    if json {
+        println!("{}", report.to_json());
+    } else if !quiet || !clean {
+        println!("{report}");
+    }
+    clean
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut plan_name: Option<String> = None;
+    let mut plan_file: Option<String> = None;
+    let mut all = false;
+    let mut list = false;
+    let mut json = false;
+    let mut quiet = false;
+    let mut shape = Shape { n: 8, root: 0, bytes: 4096, seg: 0 };
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--list" => list = true,
+            "--all" => all = true,
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--plan-file" => plan_file = Some(value("--plan-file")?.to_string()),
+            "--n" => shape.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--root" => {
+                shape.root = value("--root")?.parse().map_err(|e| format!("--root: {e}"))?;
+            }
+            "--bytes" => {
+                shape.bytes = value("--bytes")?.parse().map_err(|e| format!("--bytes: {e}"))?;
+            }
+            "--seg" => shape.seg = value("--seg")?.parse().map_err(|e| format!("--seg: {e}"))?,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            name if plan_name.is_none() => plan_name = Some(name.to_string()),
+            extra => return Err(format!("unexpected argument '{extra}'")),
+        }
+    }
+    if shape.seg == 0 {
+        shape.seg = (shape.bytes / 4).max(1);
+    }
+    if shape.n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+
+    if list {
+        for p in PLANS {
+            println!("{p}");
+        }
+        return Ok(true);
+    }
+    if let Some(path) = plan_file {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let program = program_from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(emit(&analyze_program(&program), json, quiet));
+    }
+    if all {
+        let mut clean = true;
+        let mut reports = Vec::new();
+        for name in PLANS {
+            let report = analyze_program(&built_in(name, &shape)?);
+            if json {
+                reports.push(report.to_json());
+            } else {
+                let status = if report.is_clean() { "ok" } else { "FAIL" };
+                println!(
+                    "{status:4} {:10} {} ({} ranks, {} ops)",
+                    report.verdict.kind(),
+                    report.plan,
+                    report.nranks,
+                    report.total_ops
+                );
+                if !report.is_clean() {
+                    for d in &report.diags {
+                        println!("     {d}");
+                    }
+                }
+            }
+            clean &= report.is_clean() && matches!(report.verdict, Verdict::DeadlockFree);
+        }
+        if json {
+            println!("{{\"schema\":\"mim-analyze-batch-v1\",\"reports\":[{}]}}", reports.join(","));
+        }
+        return Ok(clean);
+    }
+    match plan_name {
+        Some(name) => Ok(emit(&analyze_program(&built_in(&name, &shape)?), json, quiet)),
+        None => Err(String::new()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            if msg.is_empty() {
+                eprintln!("{USAGE}");
+            } else {
+                eprintln!("mim-analyze: {msg}");
+            }
+            ExitCode::from(2)
+        }
+    }
+}

@@ -29,9 +29,10 @@ for b in fig2_counters table1_treematch fig5_collectives fig6_heatmap fig4_overh
   fi
 done
 
-# Hot-path microbenches (matching + DES evaluator + trace record sites)
-# ride along so a plain ./run_benches.sh always refreshes their numbers too.
-for bench in mailbox_matching des_evaluate trace_overhead; do
+# Hot-path microbenches (matching + DES evaluator + trace record sites +
+# static analyzer) ride along so a plain ./run_benches.sh always refreshes
+# their numbers too.
+for bench in mailbox_matching des_evaluate trace_overhead analyze_schedule; do
   echo "===== bench $bench start $(date +%T)"
   if cargo bench --offline -p mim-bench --bench "$bench" \
       > "$results_dir/logs/bench_$bench.log" 2>&1; then

@@ -3,8 +3,8 @@
 # named by the first argument, e.g. `record_baseline.sh BENCH_pr2.json`).
 #
 # Runs the in-tree microbench harness binaries (hook_overhead, treematch,
-# coll_algorithms, mailbox_matching, des_evaluate, trace_overhead) with
-# MIM_BENCH_JSON so
+# coll_algorithms, mailbox_matching, des_evaluate, trace_overhead,
+# analyze_schedule) with MIM_BENCH_JSON so
 # their measurements accumulate as JSON lines, times the fig2/fig4 figure
 # binaries end to end, and assembles everything into one valid JSON
 # document.
@@ -26,7 +26,7 @@ trap 'rm -f "$lines_file"' EXIT
 
 cargo build --release --offline -p mim-bench --benches --bins
 
-for bench in hook_overhead treematch coll_algorithms mailbox_matching des_evaluate trace_overhead; do
+for bench in hook_overhead treematch coll_algorithms mailbox_matching des_evaluate trace_overhead analyze_schedule; do
   echo "===== microbench $bench"
   MIM_BENCH_JSON="$lines_file" cargo bench --offline -p mim-bench --bench "$bench" \
     > "$results_dir/logs/bench_$bench.log" 2>&1
