@@ -31,6 +31,7 @@ fn env(src: usize, tag: u32) -> Envelope {
         payload: Payload::Synthetic(64),
         sent_at_ns: 0.0,
         arrival_ns: 0.0,
+        wire_seq: None,
     }
 }
 

@@ -15,6 +15,10 @@ use crate::error::{MonError, Result};
 use crate::flags::Flags;
 use crate::session::{Msid, SessionData, SessionState, SessionTable, MAX_SESSIONS};
 
+/// Reserved tag for [`Monitoring::rootgather_partial`] rows; high bits keep
+/// it clear of application tags used by the example workloads.
+const PARTIAL_GATHER_TAG: u32 = 0x00C4_0000;
+
 /// Per-session metadata returned by [`Monitoring::get_info`]
 /// (the paper's `MPI_M_get_info`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +51,11 @@ pub struct GatheredData {
     pub counts: CommMatrix,
     /// `sizes[i][j]` = bytes sent from communicator rank `i` to `j`.
     pub sizes: CommMatrix,
+    /// `liveness[i]` = whether communicator rank `i` contributed its row.
+    /// All-true for the full gathers; a partial gather
+    /// ([`Monitoring::rootgather_partial`]) zeroes the rows of dead ranks
+    /// and marks them here instead of failing the whole collection.
+    pub liveness: Vec<bool>,
 }
 
 /// Per-session introspection counters returned by
@@ -292,7 +301,7 @@ impl Monitoring {
                 sizes.set(i, j, gathered[i * 2 * n + n + j]);
             }
         }
-        Ok(GatheredData { counts, sizes })
+        Ok(GatheredData { counts, sizes, liveness: vec![true; n] })
     }
 
     /// Like [`Monitoring::allgather_data`] but only `root` receives the data
@@ -323,7 +332,66 @@ impl Monitoring {
                 sizes.set(i, j, gathered[i * 2 * n + n + j]);
             }
         }
-        Ok(Some(GatheredData { counts, sizes }))
+        Ok(Some(GatheredData { counts, sizes, liveness: vec![true; n] }))
+    }
+
+    /// Fault-tolerant variant of [`Monitoring::rootgather_data`]: gather
+    /// the matrices from the ranks marked alive in `alive` (indexed by
+    /// communicator rank of the session's communicator) and report the
+    /// dead ranks' rows as zeros with `liveness[i] == false`, instead of
+    /// failing the whole collection with `MPI_M_INTERNAL_FAIL` because one
+    /// peer crashed.  Collective over the *live* members only; dead ranks
+    /// must not call it (they are dead).
+    ///
+    /// Built on point-to-point with a reserved tag rather than the gather
+    /// collective, whose tree would route rows through possibly-dead
+    /// interior ranks.
+    ///
+    /// # Errors
+    /// [`MonError::InvalidRoot`] when `root` is out of range, marked dead,
+    /// or `alive` is not exactly one flag per member.
+    /// [`MonError::InternalFail`] when a live peer's row does not arrive
+    /// within the universe's receive deadline.
+    pub fn rootgather_partial(
+        &self,
+        rank: &Rank,
+        msid: Msid,
+        root: usize,
+        flags: Flags,
+        alive: &[bool],
+    ) -> Result<Option<GatheredData>> {
+        self.check_init()?;
+        let (row, comm) = self.row_and_comm(msid, flags)?;
+        let n = comm.size();
+        if root >= n || alive.len() != n || !alive[root] {
+            return Err(MonError::InvalidRoot);
+        }
+        let mut buf = row.counts;
+        buf.extend_from_slice(&row.sizes);
+        if comm.rank() != root {
+            rank.send(&comm, root, PARTIAL_GATHER_TAG, &buf);
+            return Ok(None);
+        }
+        let mut counts = CommMatrix::zeros(n);
+        let mut sizes = CommMatrix::zeros(n);
+        let mut fill = |r: usize, data: &[u64]| {
+            for j in 0..n {
+                counts.set(r, j, data[j]);
+                sizes.set(r, j, data[n + j]);
+            }
+        };
+        fill(root, &buf);
+        for r in (0..n).filter(|&r| r != root && alive[r]) {
+            let (data, _) = rank
+                .try_recv_deadline::<u64>(&comm, r, PARTIAL_GATHER_TAG, rank.recv_deadline())
+                .map_err(|e| {
+                    MonError::InternalFail(format!(
+                        "partial gather: live rank {r} sent no row ({e:?})"
+                    ))
+                })?;
+            fill(r, &data);
+        }
+        Ok(Some(GatheredData { counts, sizes, liveness: alive.to_vec() }))
     }
 
     /// Each process writes its own row to `"{filename}.{rank}.prof"`

@@ -173,17 +173,17 @@ impl SessionTable {
 
     pub(crate) fn get(&self, msid: Msid) -> Result<&SessionData> {
         self.check(msid)?;
-        Ok(self.slots[msid.slot()].as_ref().unwrap())
+        self.slots[msid.slot()].as_ref().ok_or(MonError::InvalidMsid)
     }
 
     pub(crate) fn get_mut(&mut self, msid: Msid) -> Result<&mut SessionData> {
         self.check(msid)?;
-        Ok(self.slots[msid.slot()].as_mut().unwrap())
+        self.slots[msid.slot()].as_mut().ok_or(MonError::InvalidMsid)
     }
 
     pub(crate) fn remove(&mut self, msid: Msid) -> Result<SessionData> {
         self.check(msid)?;
-        Ok(self.slots[msid.slot()].take().unwrap())
+        self.slots[msid.slot()].take().ok_or(MonError::InvalidMsid)
     }
 
     fn check(&self, msid: Msid) -> Result<()> {

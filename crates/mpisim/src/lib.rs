@@ -31,6 +31,7 @@ pub mod collectives;
 pub mod comm;
 pub mod datatype;
 pub mod envelope;
+pub mod fault;
 pub mod mailbox;
 pub mod nic;
 pub mod nonblocking;
@@ -42,7 +43,8 @@ pub mod schedule;
 pub use comm::Comm;
 pub use datatype::Scalar;
 pub use envelope::{MsgKind, Payload};
-pub use mailbox::UnexpectedQueue;
+pub use fault::{CrashPoint, FaultInjector, LinkCtx, PeerFailure, RankFailure, SendOutcome};
+pub use mailbox::{RecvWaitError, UnexpectedQueue};
 pub use nic::{NicCounters, NicEvent};
 pub use nonblocking::{waitall_recv, RecvRequest, SendRequest};
 pub use osc::Window;

@@ -41,6 +41,16 @@ pub enum TagSel {
     Is(u32),
 }
 
+/// Why a fallible blocking receive gave up (the recoverable twin of the
+/// `recv_match` deadlock/disconnect panics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvWaitError {
+    /// No matching message arrived within the wall-clock deadline.
+    Timeout,
+    /// Every sender disconnected; no message can ever arrive.
+    Disconnected,
+}
+
 /// A receive pattern: communicator, context, source and tag.
 #[derive(Debug, Clone, Copy)]
 pub struct MatchPattern {
@@ -244,12 +254,24 @@ pub struct Mailbox {
     /// the flight-recorder dump — the last ring events of *every* track —
     /// to its message.
     trace: Option<TraceHandle>,
+    /// Last admitted wire sequence per sender (fault-injection dedup).
+    last_wire_seq: HashMap<usize, u64>,
+    /// Envelopes dropped as duplicate deliveries.
+    dup_dropped: u64,
 }
 
 impl Mailbox {
     /// Wrap a channel receiver. `deadline` bounds any single blocking receive.
     pub fn new(rx: Receiver<Envelope>, deadline: Duration) -> Self {
-        Self { rx, unexpected: UnexpectedQueue::new(), deadline, uq_high: 0, trace: None }
+        Self {
+            rx,
+            unexpected: UnexpectedQueue::new(),
+            deadline,
+            uq_high: 0,
+            trace: None,
+            last_wire_seq: HashMap::new(),
+            dup_dropped: 0,
+        }
     }
 
     /// Attach the owning rank's trace track (flight-recorder dumps on
@@ -273,37 +295,101 @@ impl Mailbox {
         self.uq_high = self.uq_high.max(self.unexpected.len());
     }
 
+    /// Duplicate-delivery filter: admit an envelope unless its wire
+    /// sequence is not newer than the last one admitted from the same
+    /// sender.  Sound because each sender's channel is FIFO and the sender
+    /// assigns non-decreasing sequences (duplicates are enqueued
+    /// back-to-back with the same sequence), so "not newer" can only mean
+    /// "a copy of something already admitted".
+    fn admit(&mut self, env: Envelope) -> Option<Envelope> {
+        let Some(seq) = env.wire_seq else { return Some(env) };
+        match self.last_wire_seq.get(&env.src_world) {
+            Some(&last) if seq <= last => {
+                self.dup_dropped += 1;
+                None
+            }
+            _ => {
+                self.last_wire_seq.insert(env.src_world, seq);
+                Some(env)
+            }
+        }
+    }
+
+    /// Fallible blocking receive of the earliest message matching `pat`:
+    /// returns an error instead of panicking on deadline or disconnect.
+    /// `deadline` overrides the mailbox's configured deadline.
+    pub fn try_recv_deadline(
+        &mut self,
+        pat: &MatchPattern,
+        deadline: Duration,
+    ) -> Result<Envelope, RecvWaitError> {
+        if let Some(env) = self.unexpected.take(pat) {
+            return Ok(env);
+        }
+        loop {
+            match self.rx.recv_timeout(deadline) {
+                Ok(env) => {
+                    let Some(env) = self.admit(env) else { continue };
+                    if pat.matches(&env) {
+                        return Ok(env);
+                    }
+                    self.queue_unexpected(env);
+                }
+                Err(RecvTimeoutError::Timeout) => return Err(RecvWaitError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvWaitError::Disconnected),
+            }
+        }
+    }
+
+    /// Blocking receive that matches *either* pattern, preferring `a` when
+    /// both have a message queued: returns `(env, true)` for an `a` match,
+    /// `(env, false)` for `b`.  Used by the failure detector to wait for
+    /// data while staying responsive to a peer's death notice; checking `a`
+    /// (the data pattern) first preserves the per-channel FIFO guarantee
+    /// that data sent before a crash is consumed before the death notice.
+    pub fn recv_either(
+        &mut self,
+        a: &MatchPattern,
+        b: &MatchPattern,
+        deadline: Duration,
+    ) -> Result<(Envelope, bool), RecvWaitError> {
+        loop {
+            if let Some(env) = self.unexpected.take(a) {
+                return Ok((env, true));
+            }
+            if let Some(env) = self.unexpected.take(b) {
+                return Ok((env, false));
+            }
+            match self.rx.recv_timeout(deadline) {
+                Ok(env) => {
+                    if let Some(env) = self.admit(env) {
+                        self.queue_unexpected(env);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => return Err(RecvWaitError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvWaitError::Disconnected),
+            }
+        }
+    }
+
     /// Blocking receive of the earliest message matching `pat`.
     ///
     /// # Panics
     /// Panics if no matching message arrives within the wall-clock deadline
     /// (deadlock detector) or if all senders disconnected.
     pub fn recv_match(&mut self, pat: &MatchPattern) -> Envelope {
-        if let Some(env) = self.unexpected.take(pat) {
-            return env;
-        }
-        loop {
-            match self.rx.recv_timeout(self.deadline) {
-                Ok(env) => {
-                    if pat.matches(&env) {
-                        return env;
-                    }
-                    self.queue_unexpected(env);
-                }
-                Err(RecvTimeoutError::Timeout) => panic!(
-                    "deadlock: no message matching {pat:?} within {:?} \
-                     (override with MIM_DEADLINE_MS); {} unexpected messages queued:\n{}{}",
-                    self.deadline,
-                    self.unexpected.len(),
-                    self.unexpected.dump(16),
-                    self.flight_dump()
-                ),
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!(
-                        "all senders disconnected while waiting for {pat:?}{}",
-                        self.flight_dump()
-                    )
-                }
+        match self.try_recv_deadline(pat, self.deadline) {
+            Ok(env) => env,
+            Err(RecvWaitError::Timeout) => panic!(
+                "deadlock: no message matching {pat:?} within {:?} \
+                 (override with MIM_DEADLINE_MS); {} unexpected messages queued:\n{}{}",
+                self.deadline,
+                self.unexpected.len(),
+                self.unexpected.dump(16),
+                self.flight_dump()
+            ),
+            Err(RecvWaitError::Disconnected) => {
+                panic!("all senders disconnected while waiting for {pat:?}{}", self.flight_dump())
             }
         }
     }
@@ -312,9 +398,16 @@ impl Mailbox {
     /// Drains the channel into the unexpected queue first.
     pub fn iprobe(&mut self, pat: &MatchPattern) -> bool {
         while let Ok(env) = self.rx.try_recv() {
-            self.queue_unexpected(env);
+            if let Some(env) = self.admit(env) {
+                self.queue_unexpected(env);
+            }
         }
         self.unexpected.contains_match(pat)
+    }
+
+    /// Envelopes dropped by the duplicate-delivery filter.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.dup_dropped
     }
 
     /// Number of queued unexpected messages (diagnostic).
@@ -346,6 +439,7 @@ mod tests {
             payload: Payload::Synthetic(1),
             sent_at_ns: 0.0,
             arrival_ns: 0.0,
+            wire_seq: None,
         }
     }
 
@@ -426,6 +520,67 @@ mod tests {
         // iprobe must not consume.
         let got = mb.recv_match(&pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any));
         assert_eq!(got.src_world, 1);
+    }
+
+    #[test]
+    fn duplicate_wire_seqs_dropped() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx, Duration::from_secs(5));
+        let seq = |src: usize, s: u64, tag: u32| {
+            let mut e = env(src, 7, Ctx::Pt2pt, tag);
+            e.wire_seq = Some(s);
+            tx.send(e).unwrap();
+        };
+        seq(1, 0, 10);
+        seq(1, 0, 10); // duplicate delivery of the same wire message
+        seq(1, 1, 11);
+        seq(2, 0, 10); // per-sender sequences are independent
+        seq(1, 1, 11); // duplicate again
+        let p = pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any);
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let e = mb.try_recv_deadline(&p, Duration::from_secs(5)).unwrap();
+            got.push((e.src_world, e.tag));
+        }
+        assert_eq!(got, vec![(1, 10), (1, 11), (2, 10)]);
+        // The trailing duplicate is only drained (and counted) by the next
+        // receive attempt, which then finds nothing live to deliver.
+        assert!(matches!(
+            mb.try_recv_deadline(&p, Duration::from_millis(10)),
+            Err(RecvWaitError::Timeout)
+        ));
+        assert_eq!(mb.duplicates_dropped(), 2);
+    }
+
+    #[test]
+    fn try_recv_deadline_reports_disconnect() {
+        let (tx, rx) = unbounded::<Envelope>();
+        let mut mb = Mailbox::new(rx, Duration::from_secs(5));
+        drop(tx);
+        let p = pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any);
+        assert!(matches!(
+            mb.try_recv_deadline(&p, Duration::from_secs(5)),
+            Err(RecvWaitError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn recv_either_prefers_first_pattern() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx, Duration::from_secs(5));
+        tx.send(env(1, 7, Ctx::Pt2pt, 2)).unwrap(); // matches b
+        tx.send(env(1, 7, Ctx::Pt2pt, 1)).unwrap(); // matches a, arrives later
+        let a = pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Is(1));
+        let b = pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Is(2));
+        // Drain both into the unexpected queue so one matcher pass sees
+        // both; `a` wins even though `b`'s message arrived first.
+        mb.iprobe(&pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Is(99)));
+        let (e, is_a) = mb.recv_either(&a, &b, Duration::from_secs(5)).unwrap();
+        assert!(is_a);
+        assert_eq!(e.tag, 1);
+        let (e, is_a) = mb.recv_either(&a, &b, Duration::from_secs(5)).unwrap();
+        assert!(!is_a);
+        assert_eq!(e.tag, 2);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub struct NicCounters {
     core_to_node: Vec<usize>,
     xmit_bytes: Vec<AtomicU64>,
     xmit_msgs: Vec<AtomicU64>,
+    retries: Vec<AtomicU64>,
     header_bytes: u64,
     events: Mutex<Option<Vec<NicEvent>>>,
 }
@@ -47,6 +48,7 @@ impl NicCounters {
             core_to_node,
             xmit_bytes: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             xmit_msgs: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            retries: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             header_bytes,
             events: Mutex::new(None),
         }
@@ -83,6 +85,26 @@ impl NicCounters {
     /// Number of nodes with counters.
     pub fn num_nodes(&self) -> usize {
         self.xmit_bytes.len()
+    }
+
+    /// Record one wire-level retransmission issued by a core on this node.
+    ///
+    /// Unlike `xmit_*` (which mirror `port_xmit_data` and only see
+    /// cross-node traffic), retries count at *every* link: the retransmit
+    /// timer lives in the sender's protocol engine, which fires whether or
+    /// not the bytes would have left the node.
+    pub fn count_retry(&self, src_core: usize) {
+        self.retries[self.core_to_node[src_core]].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Retransmissions issued by a node's cores.
+    pub fn retries(&self, node: usize) -> u64 {
+        self.retries[node].load(Ordering::Relaxed)
+    }
+
+    /// Total retransmissions across all nodes.
+    pub fn retries_total(&self) -> u64 {
+        self.retries.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 }
 
@@ -146,6 +168,19 @@ mod tests {
         assert_eq!(n.xmit_msgs(0), 2);
         assert_eq!(n.xmit_bytes(1), 164);
         assert_eq!(n.port_xmit_data(0), (1000 + 64 + 500 + 64) / 4);
+    }
+
+    #[test]
+    fn retries_counted_per_sender_node() {
+        let n = nic(0);
+        n.count_retry(0);
+        n.count_retry(1); // same node as core 0
+        n.count_retry(2);
+        assert_eq!(n.retries(0), 2);
+        assert_eq!(n.retries(1), 1);
+        assert_eq!(n.retries_total(), 3);
+        // Retries never leak into the sysfs-mirroring counters.
+        assert_eq!(n.xmit_msgs(0), 0);
     }
 
     #[test]

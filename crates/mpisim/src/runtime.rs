@@ -3,7 +3,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -18,7 +18,10 @@ use crate::collectives;
 use crate::comm::Comm;
 use crate::datatype::Scalar;
 use crate::envelope::{Ctx, Envelope, MsgKind, Payload};
-use crate::mailbox::{self, Mailbox, MatchPattern};
+use crate::fault::{
+    self, CrashPoint, FaultInjector, LinkCtx, PeerFailure, RankFailure, SendOutcome,
+};
+use crate::mailbox::{self, Mailbox, MatchPattern, RecvWaitError};
 use crate::nic::NicCounters;
 use crate::pml::{LocalHookHandle, LocalHooks, LocalPmlHook, PmlEvent, PmlHook};
 
@@ -68,6 +71,11 @@ pub struct UniverseConfig {
     /// disables tracing entirely — every record site is a single
     /// branch-on-`Option` (see the `trace_overhead` microbench).
     pub tracer: Option<Arc<Tracer>>,
+    /// Optional deterministic fault injector (see [`crate::fault`] and the
+    /// `mim-chaos` crate).  `None` keeps the wire layer on its fault-free
+    /// fast path: the injector check is a single branch-on-`Option`
+    /// (measured by the `chaos_overhead` microbench).
+    pub injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl UniverseConfig {
@@ -96,7 +104,14 @@ impl UniverseConfig {
             deadline,
             stack_size: 4 << 20,
             tracer: Tracer::global(),
+            injector: None,
         }
+    }
+
+    /// Install a deterministic fault injector (builder style).
+    pub fn with_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
     }
 
     /// Number of ranks in the job.
@@ -115,6 +130,14 @@ pub(crate) struct Shared {
     next_comm_id: AtomicU64,
     /// One-sided window registry: (window id, comm rank) → shared buffer.
     pub(crate) windows: Mutex<HashMap<(u64, usize), WindowBuf>>,
+    /// The simulated NIC (also the first global hook); kept here so the
+    /// wire layer can count retransmissions without a hook round-trip.
+    pub(crate) nic: Arc<NicCounters>,
+    /// Per-rank liveness, cleared when a fault plan crashes a rank.
+    pub(crate) alive: Vec<AtomicBool>,
+    /// Set by `launch_faulty`: sends to a gone mailbox drop silently
+    /// instead of unwinding the sender (`RankAborted`).
+    pub(crate) faulty: AtomicBool,
 }
 
 impl Shared {
@@ -147,7 +170,6 @@ impl Shared {
 pub struct Universe {
     shared: Arc<Shared>,
     receivers: Mutex<Option<Vec<Receiver<Envelope>>>>,
-    nic: Arc<NicCounters>,
 }
 
 impl Universe {
@@ -166,18 +188,27 @@ impl Universe {
             (0..cfg.machine.num_cores()).map(|c| cfg.machine.node_of_core(c)).collect();
         let nic = Arc::new(NicCounters::new(core_to_node, cfg.nic_header_bytes));
         let shared = Arc::new(Shared {
-            cfg,
             senders,
             global_hooks: RwLock::new(vec![nic.clone() as Arc<dyn PmlHook>]),
             next_comm_id: AtomicU64::new(1), // id 0 is MPI_COMM_WORLD
             windows: Mutex::new(HashMap::new()),
+            nic,
+            alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            faulty: AtomicBool::new(false),
+            cfg,
         });
-        Self { shared, receivers: Mutex::new(Some(receivers)), nic }
+        Self { shared, receivers: Mutex::new(Some(receivers)) }
     }
 
     /// The simulated NIC counters (inspect after [`Universe::launch`]).
     pub fn nic(&self) -> &NicCounters {
-        &self.nic
+        &self.shared.nic
+    }
+
+    /// Per-rank liveness after a run: `false` for ranks killed by the fault
+    /// plan, `true` otherwise.
+    pub fn alive(&self) -> Vec<bool> {
+        self.shared.alive.iter().map(|a| a.load(Ordering::Relaxed)).collect()
     }
 
     /// Register an additional global PML hook (before launching).
@@ -190,13 +221,11 @@ impl Universe {
         &self.shared.cfg
     }
 
-    /// Run `f` once per rank, each on its own thread, and collect the
-    /// per-rank results in rank order.
-    ///
-    /// # Panics
-    /// Panics if any rank panics (the first panic is propagated), or when
-    /// called a second time on the same universe.
-    pub fn launch<F, R>(&self, f: F) -> Vec<R>
+    /// Spawn one thread per rank and pair each rank's result with its own
+    /// panic payload (by rank index) — the shared engine under both
+    /// [`Universe::launch`] (strict) and [`Universe::launch_faulty`]
+    /// (recoverable).
+    fn run_collect<F, R>(&self, f: F) -> Vec<Result<R, Box<dyn std::any::Any + Send>>>
     where
         F: Fn(&Rank) -> R + Sync,
         R: Send,
@@ -204,7 +233,8 @@ impl Universe {
         let receivers = self.receivers.lock().take().expect("a universe can only be launched once");
         let n = receivers.len();
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
+        let mut payloads: Vec<Option<Box<dyn std::any::Any + Send>>> =
+            (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (world_rank, (rx, slot)) in
@@ -222,16 +252,56 @@ impl Universe {
                     .expect("failed to spawn rank thread");
                 handles.push(handle);
             }
-            for h in handles {
+            for (i, h) in handles.into_iter().enumerate() {
                 if let Err(p) = h.join() {
-                    panics.push(p);
+                    payloads[i] = Some(p);
                 }
             }
         });
         if let Some(t) = &self.shared.cfg.tracer {
             t.flush();
         }
+        results
+            .into_iter()
+            .zip(payloads)
+            .map(|(r, p)| match p {
+                Some(payload) => Err(payload),
+                None => Ok(r.expect("rank produced no result")),
+            })
+            .collect()
+    }
+
+    /// Run `f` once per rank, each on its own thread, and collect the
+    /// per-rank results in rank order.
+    ///
+    /// # Panics
+    /// Panics if any rank panics (the first panic is propagated), or when
+    /// called a second time on the same universe.
+    pub fn launch<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(&Rank) -> R + Sync,
+        R: Send,
+    {
+        let mut results = Vec::new();
+        let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
+        for r in self.run_collect(f) {
+            match r {
+                Ok(v) => results.push(v),
+                Err(p) => panics.push(p),
+            }
+        }
         if !panics.is_empty() {
+            // A plan-scheduled crash is an error in strict mode: report it
+            // in the clear instead of unwinding an internal payload.
+            for p in &panics {
+                if let Some(c) = p.downcast_ref::<fault::RankCrashed>() {
+                    panic!(
+                        "rank {} crashed by fault injection at {:.0} ns after {} wire ops \
+                         (use Universe::launch_faulty to recover)",
+                        c.world, c.at_ns, c.ops
+                    );
+                }
+            }
             // Prefer the first payload that is not a secondary
             // `RankAborted` cascade, so the launcher reports the root cause
             // (e.g. a deadlock diagnosis) rather than a send-to-dead-rank
@@ -249,7 +319,21 @@ impl Universe {
                 Err(p) => std::panic::resume_unwind(p),
             }
         }
-        results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+        results
+    }
+
+    /// Like [`Universe::launch`], but failures are *data*: each rank yields
+    /// `Ok(result)` or the [`RankFailure`] that took it down, and a send to
+    /// a dead rank's mailbox drops silently instead of unwinding the sender.
+    /// Survivors keep their results even when peers die — the recoverable
+    /// mode the self-healing reorder loop runs under.
+    pub fn launch_faulty<F, R>(&self, f: F) -> Vec<Result<R, RankFailure>>
+    where
+        F: Fn(&Rank) -> R + Sync,
+        R: Send,
+    {
+        self.shared.faulty.store(true, Ordering::Relaxed);
+        self.run_collect(f).into_iter().map(|r| r.map_err(RankFailure::classify)).collect()
     }
 }
 
@@ -263,6 +347,14 @@ pub struct RankAborted {
     pub src: usize,
     /// The destination world rank whose thread had exited.
     pub dst: usize,
+}
+
+/// One fault-protocol message, as seen by the failure detector.
+enum FaultMsg {
+    /// The peer answered a liveness ping.
+    Ping,
+    /// The peer's death notice (carrying its time of death).
+    Death { at_ns: f64 },
 }
 
 /// Per-rank handle: the owning thread's view of the job.
@@ -290,6 +382,19 @@ pub struct Rank {
     active_coll: Cell<Option<u64>>,
     /// Per-rank collective-span id allocator.
     next_coll_span: Cell<u64>,
+    /// The installed fault injector, cloned out of the config for
+    /// branch-cheap access on the wire paths.
+    injector: Option<Arc<dyn FaultInjector>>,
+    /// Wire operations completed (sends + receives), the op-count frame of
+    /// [`CrashPoint::OpCount`].  Only advanced when an injector is present.
+    ops: Cell<u64>,
+    /// Retransmissions this rank issued (drop faults recovered by backoff).
+    retries: Cell<u64>,
+    /// Next wire sequence per destination world rank (duplicate dedup).
+    link_op: RefCell<HashMap<usize, u64>>,
+    /// Peers whose death notices this rank has consumed: world rank → the
+    /// virtual time of death carried by the notice.
+    failed_peers: RefCell<HashMap<usize, f64>>,
 }
 
 impl Rank {
@@ -302,6 +407,7 @@ impl Rank {
         if let Some(t) = &trace {
             mailbox.set_trace(t.clone());
         }
+        let injector = shared.cfg.injector.clone();
         Self {
             world_rank,
             core,
@@ -314,6 +420,11 @@ impl Rank {
             trace,
             active_coll: Cell::new(None),
             next_coll_span: Cell::new(0),
+            injector,
+            ops: Cell::new(0),
+            retries: Cell::new(0),
+            link_op: RefCell::new(HashMap::new()),
+            failed_peers: RefCell::new(HashMap::new()),
         }
     }
 
@@ -399,6 +510,103 @@ impl Rank {
         self.local_hooks.borrow_mut().remove(handle)
     }
 
+    // ----- fault machinery ---------------------------------------------------
+
+    /// Wire-operation prologue: fire the plan's crash point if due, else
+    /// count the op.  A no-op (ops stay 0) without an injector.
+    fn pre_op(&self) {
+        let Some(inj) = &self.injector else { return };
+        if let Some(cp) = inj.crash_point(self.world_rank) {
+            let due = match cp {
+                CrashPoint::OpCount(n) => self.ops.get() >= n,
+                CrashPoint::VirtualTimeNs(t) => self.clock.now_ns() >= t,
+            };
+            if due {
+                self.crash_now();
+            }
+        }
+        self.ops.set(self.ops.get() + 1);
+    }
+
+    /// Kill this rank: mark it dead, broadcast death notices so peers
+    /// blocked in [`Rank::recv_or_failure`] get a deterministic failure
+    /// signal (per-sender FIFO guarantees data sent before the crash is
+    /// still consumed first), and unwind with a typed payload that
+    /// `launch_faulty` maps to [`RankFailure::Crashed`].  `resume_unwind`
+    /// skips the panic hook, so a scheduled crash is silent on stderr.
+    fn crash_now(&self) -> ! {
+        let now = self.clock.now_ns();
+        let ops = self.ops.get();
+        self.shared.alive[self.world_rank].store(false, Ordering::Relaxed);
+        if let Some(t) = &self.trace {
+            t.record(now, TraceData::RankCrash { ops });
+        }
+        for dst in 0..self.world_size() {
+            if dst == self.world_rank {
+                continue;
+            }
+            let env = Envelope {
+                src_world: self.world_rank,
+                dst_world: dst,
+                comm_id: fault::FAULT_COMM,
+                ctx: Ctx::Fault,
+                tag: fault::FAULT_TAG_DEATH,
+                kind: MsgKind::P2pUser,
+                payload: Payload::Synthetic(0),
+                sent_at_ns: now,
+                arrival_ns: now,
+                wire_seq: None,
+            };
+            let _ = self.shared.senders[dst].send(env);
+        }
+        std::panic::resume_unwind(Box::new(fault::RankCrashed {
+            world: self.world_rank,
+            at_ns: now,
+            ops,
+        }));
+    }
+
+    /// Send a fault-protocol control message (no payload, no PML hooks, no
+    /// tracing, no injection — the failure detector must stay deterministic
+    /// under the very plan it observes).
+    fn fault_send(&self, dst_world: usize, tag: u32) {
+        self.clock.tick(self.shared.cfg.send_overhead_ns);
+        let now = self.clock.now_ns();
+        let dst_core = self.shared.core_of(dst_world);
+        let alpha = self.shared.cfg.machine.link_params(self.core, dst_core).alpha_ns;
+        let env = Envelope {
+            src_world: self.world_rank,
+            dst_world,
+            comm_id: fault::FAULT_COMM,
+            ctx: Ctx::Fault,
+            tag,
+            kind: MsgKind::P2pUser,
+            payload: Payload::Synthetic(0),
+            sent_at_ns: now,
+            arrival_ns: now + alpha,
+            wire_seq: None,
+        };
+        let _ = self.shared.senders[dst_world].send(env);
+    }
+
+    /// Receive one fault-protocol message from a specific peer: its
+    /// liveness ping, or its death notice.
+    fn fault_recv(&self, src_world: usize) -> FaultMsg {
+        let pat = MatchPattern {
+            comm_id: fault::FAULT_COMM,
+            ctx: Ctx::Fault,
+            src: mailbox::SrcSel::World(src_world),
+            tag: TagSel::Any,
+        };
+        let env = self.mailbox.borrow_mut().recv_match(&pat);
+        self.clock.advance_to(env.arrival_ns);
+        if env.tag == fault::FAULT_TAG_DEATH {
+            FaultMsg::Death { at_ns: env.sent_at_ns }
+        } else {
+            FaultMsg::Ping
+        }
+    }
+
     // ----- wire primitives ---------------------------------------------------
 
     pub(crate) fn wire_send(
@@ -420,7 +628,63 @@ impl Rank {
         // while virtual clocks drift); the deterministic, virtual-time-
         // ordered variant lives in `schedule::evaluate_contended`.
         let link = self.shared.cfg.machine.link_params(self.core, dst_core);
-        let busy = link.beta_ns_per_byte * bytes as f64;
+        let mut beta = link.beta_ns_per_byte;
+        let mut extra_delay = 0.0;
+        let mut duplicates = 0u32;
+        let mut wire_seq = None;
+        if let Some(inj) = &self.injector {
+            self.pre_op();
+            let scale = inj.link_bandwidth_scale(self.world_rank, dst_world);
+            if scale != 1.0 {
+                beta /= scale;
+            }
+            let op_index = {
+                let mut link_op = self.link_op.borrow_mut();
+                let next = link_op.entry(dst_world).or_insert(0);
+                let i = *next;
+                *next += 1;
+                i
+            };
+            wire_seq = Some(op_index);
+            let lctx = LinkCtx { src_world: self.world_rank, dst_world, op_index, bytes };
+            // Sender-simulated ack/retry: a dropped attempt occupies the
+            // link for a full transmission, then the retransmit timer fires
+            // after a capped-exponential backoff.  After RETRY_MAX_ATTEMPTS
+            // the message is force-delivered — a plan can degrade a link
+            // but never sever it (only a crash removes a rank).
+            let mut attempt = 0u32;
+            loop {
+                match inj.on_attempt(&lctx, attempt) {
+                    SendOutcome::Deliver { extra_delay_ns, duplicates: d } => {
+                        extra_delay = extra_delay_ns;
+                        duplicates = d;
+                        break;
+                    }
+                    SendOutcome::Drop => {
+                        if attempt + 1 >= fault::RETRY_MAX_ATTEMPTS {
+                            break;
+                        }
+                        let backoff = fault::backoff_ns(attempt);
+                        self.clock
+                            .tick(self.shared.cfg.send_overhead_ns + beta * bytes as f64 + backoff);
+                        self.retries.set(self.retries.get() + 1);
+                        self.shared.nic.count_retry(self.core);
+                        if let Some(t) = &self.trace {
+                            t.record(
+                                self.clock.now_ns(),
+                                TraceData::Retry {
+                                    dst: dst_world,
+                                    attempt,
+                                    backoff_ns: backoff as u64,
+                                },
+                            );
+                        }
+                        attempt += 1;
+                    }
+                }
+            }
+        }
+        let busy = beta * bytes as f64;
         self.clock.tick(self.shared.cfg.send_overhead_ns + busy);
         let sent_at = self.clock.now_ns();
         let cost = link.alpha_ns;
@@ -456,8 +720,20 @@ impl Rank {
             kind,
             payload,
             sent_at_ns: sent_at,
-            arrival_ns: sent_at + cost,
+            arrival_ns: sent_at + cost + extra_delay,
+            wire_seq,
         };
+        // Duplicate-delivery faults: extra copies trail the primary by one
+        // latency each; the receiver's sequence filter drops every copy
+        // after the first it sees.  They carry no PML/trace events — the
+        // logical message was already recorded once.
+        let dups: Vec<Envelope> = (0..duplicates)
+            .map(|d| {
+                let mut e = env.clone();
+                e.arrival_ns = env.arrival_ns + (d as f64 + 1.0) * cost;
+                e
+            })
+            .collect();
         if self.shared.senders[dst_world].send(env).is_err() {
             // The destination thread already exited — almost always because
             // it (or a third rank) panicked and the job is collapsing.
@@ -465,6 +741,15 @@ impl Rank {
             // race the root cause for the user's attention.  Record the
             // failure and unwind with a typed payload the launcher treats
             // as secondary (see `Universe::launch`).
+            if self.shared.faulty.load(Ordering::Relaxed) {
+                // Recoverable mode: the peer is dead (crashed or finished);
+                // the bytes evaporate and the sender carries on.  No trace
+                // event either — whether a send to a dead rank observes the
+                // closed channel (vs. landing unread in its mailbox) depends
+                // on OS thread-teardown timing, so recording it would make
+                // fixed-seed traces nondeterministic.
+                return;
+            }
             if let Some(t) = &self.trace {
                 t.record(self.clock.now_ns(), TraceData::SendFailed { dst: dst_world });
             }
@@ -472,6 +757,9 @@ impl Rank {
                 src: self.world_rank,
                 dst: dst_world,
             }));
+        }
+        for e in dups {
+            let _ = self.shared.senders[dst_world].send(e);
         }
     }
 
@@ -502,8 +790,19 @@ impl Rank {
     /// Receive matching a raw pattern (nonblocking-module plumbing),
     /// applying the usual virtual-time rules.
     pub(crate) fn mailbox_recv(&self, pat: &MatchPattern) -> Envelope {
-        let mut mb = self.mailbox.borrow_mut();
-        let env = mb.recv_match(pat);
+        self.pre_op();
+        let (env, depth) = {
+            let mut mb = self.mailbox.borrow_mut();
+            let env = mb.recv_match(pat);
+            let depth = mb.unexpected_len();
+            (env, depth)
+        };
+        self.finish_recv(env, depth)
+    }
+
+    /// Receive epilogue: advance virtual time to the arrival, pay the
+    /// receive overhead, record the `Recv` trace event.
+    fn finish_recv(&self, env: Envelope, uq_depth: usize) -> Envelope {
         self.clock.advance_to(env.arrival_ns);
         self.clock.tick(self.shared.cfg.recv_overhead_ns);
         if let Some(t) = &self.trace {
@@ -514,7 +813,7 @@ impl Rank {
                     bytes: env.payload.len_bytes(),
                     comm: env.comm_id,
                     tag: env.tag,
-                    uq_depth: mb.unexpected_len(),
+                    uq_depth,
                 },
             );
         }
@@ -614,6 +913,186 @@ impl Rank {
     ) -> (Vec<T>, Status) {
         self.send(comm, dst, send_tag, data);
         self.recv(comm, src, recv_tag)
+    }
+
+    // ----- recoverable point-to-point ----------------------------------------
+
+    /// Fallible blocking receive from a specific peer: returns an error
+    /// instead of panicking when `deadline` expires or every sender is
+    /// gone.  The virtual clock is untouched on the error path.
+    pub fn try_recv_deadline<T: Scalar>(
+        &self,
+        comm: &Comm,
+        src: usize,
+        tag: u32,
+        deadline: Duration,
+    ) -> Result<(Vec<T>, Status), RecvWaitError> {
+        self.pre_op();
+        let src_world = comm.world_rank_of(src);
+        let pat = MatchPattern {
+            comm_id: comm.id(),
+            ctx: Ctx::Pt2pt,
+            src: mailbox::SrcSel::World(src_world),
+            tag: TagSel::Is(tag),
+        };
+        let res = {
+            let mut mb = self.mailbox.borrow_mut();
+            mb.try_recv_deadline(&pat, deadline).map(|env| {
+                let depth = mb.unexpected_len();
+                (env, depth)
+            })
+        };
+        let (env, depth) = res?;
+        let env = self.finish_recv(env, depth);
+        let status = Status { src, tag: env.tag, bytes: env.payload.len_bytes() };
+        Ok((T::from_bytes(&env.payload.expect_bytes()), status))
+    }
+
+    /// Blocking receive from a specific peer that degrades into an error
+    /// when the peer crashed: waits for the data *or* the peer's death
+    /// notice, whichever the per-sender FIFO delivers first.  Data the
+    /// peer sent before dying is always consumed before its death notice,
+    /// so nothing already on the wire is lost.
+    ///
+    /// # Panics
+    /// Panics (deadlock detector) when neither data nor a death notice
+    /// arrives within the configured deadline.
+    pub fn recv_or_failure<T: Scalar>(
+        &self,
+        comm: &Comm,
+        src: usize,
+        tag: u32,
+    ) -> Result<(Vec<T>, Status), PeerFailure> {
+        self.pre_op();
+        let src_world = comm.world_rank_of(src);
+        let data_pat = MatchPattern {
+            comm_id: comm.id(),
+            ctx: Ctx::Pt2pt,
+            src: mailbox::SrcSel::World(src_world),
+            tag: TagSel::Is(tag),
+        };
+        // A peer already known dead can still have pre-crash data queued.
+        let known_dead = self.failed_peers.borrow().get(&src_world).copied();
+        if let Some(at_ns) = known_dead {
+            let leftover = {
+                let mut mb = self.mailbox.borrow_mut();
+                if mb.iprobe(&data_pat) {
+                    let env = mb.recv_match(&data_pat); // queued: returns at once
+                    let depth = mb.unexpected_len();
+                    Some((env, depth))
+                } else {
+                    None
+                }
+            };
+            return match leftover {
+                Some((env, depth)) => {
+                    let env = self.finish_recv(env, depth);
+                    let status = Status { src, tag: env.tag, bytes: env.payload.len_bytes() };
+                    Ok((T::from_bytes(&env.payload.expect_bytes()), status))
+                }
+                None => Err(PeerFailure { world: src_world, at_ns }),
+            };
+        }
+        let death_pat = MatchPattern {
+            comm_id: fault::FAULT_COMM,
+            ctx: Ctx::Fault,
+            src: mailbox::SrcSel::World(src_world),
+            tag: TagSel::Is(fault::FAULT_TAG_DEATH),
+        };
+        let res = {
+            let mut mb = self.mailbox.borrow_mut();
+            mb.recv_either(&data_pat, &death_pat, self.shared.cfg.deadline).map(|(env, is_data)| {
+                let depth = mb.unexpected_len();
+                (env, is_data, depth)
+            })
+        };
+        match res {
+            Ok((env, true, depth)) => {
+                let env = self.finish_recv(env, depth);
+                let status = Status { src, tag: env.tag, bytes: env.payload.len_bytes() };
+                Ok((T::from_bytes(&env.payload.expect_bytes()), status))
+            }
+            Ok((env, false, _)) => {
+                self.failed_peers.borrow_mut().insert(src_world, env.sent_at_ns);
+                self.clock.advance_to(env.arrival_ns);
+                Err(PeerFailure { world: src_world, at_ns: env.sent_at_ns })
+            }
+            Err(e) => panic!(
+                "recv_or_failure: neither data nor a death notice from world rank \
+                 {src_world} ({e:?}) while waiting for {data_pat:?}"
+            ),
+        }
+    }
+
+    /// Collective liveness check: every live member of `comm` pings every
+    /// peer it still believes alive, then collects one verdict per pinged
+    /// peer — its ping, or its death notice.  Returns the liveness bitmap
+    /// indexed by *communicator* rank.  Must be called collectively by all
+    /// surviving members (crashed members are excused: their broadcast
+    /// death notices stand in for their pings).
+    pub fn liveness_exchange(&self, comm: &Comm) -> Vec<bool> {
+        self.pre_op();
+        let n = comm.size();
+        let me = comm.rank();
+        let mut alive = vec![true; n];
+        {
+            let failed = self.failed_peers.borrow();
+            for (r, a) in alive.iter_mut().enumerate() {
+                if r != me && failed.contains_key(&comm.world_rank_of(r)) {
+                    *a = false;
+                }
+            }
+        }
+        for (r, &a) in alive.iter().enumerate() {
+            if r != me && a {
+                self.fault_send(comm.world_rank_of(r), fault::FAULT_TAG_PING);
+            }
+        }
+        for (r, a) in alive.iter_mut().enumerate() {
+            if r == me || !*a {
+                continue;
+            }
+            let w = comm.world_rank_of(r);
+            if let FaultMsg::Death { at_ns } = self.fault_recv(w) {
+                self.failed_peers.borrow_mut().insert(w, at_ns);
+                *a = false;
+            }
+        }
+        alive
+    }
+
+    /// ULFM-style `MPI_Comm_shrink`, purely local: derive the surviving
+    /// sub-communicator from a liveness bitmap (indexed by `comm` rank).
+    /// Every survivor folds the same `(parent id, bitmap)` into the same
+    /// derived id, so no collective round over a half-dead communicator is
+    /// needed; the top bit keeps derived ids out of the allocator's range.
+    pub fn comm_shrink(&self, comm: &Comm, alive: &[bool]) -> Comm {
+        assert_eq!(alive.len(), comm.size(), "liveness bitmap must cover the communicator");
+        assert!(alive[comm.rank()], "a dead rank cannot shrink a communicator");
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ comm.id();
+        for (i, &a) in alive.iter().enumerate() {
+            h = (h ^ (((i as u64) << 1) | u64::from(a))).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let id = h | (1 << 63);
+        let group: Vec<usize> =
+            (0..comm.size()).filter(|&r| alive[r]).map(|r| comm.world_rank_of(r)).collect();
+        let my_rank = (0..comm.rank()).filter(|&r| alive[r]).count();
+        Comm::new(id, Arc::new(group), my_rank)
+    }
+
+    /// The configured deadlock-detector deadline (for fallible receives).
+    pub fn recv_deadline(&self) -> Duration {
+        self.shared.cfg.deadline
+    }
+
+    /// Retransmissions this rank issued (0 without an injector).
+    pub fn retry_count(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Envelopes this rank's mailbox dropped as duplicate deliveries.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.mailbox.borrow().duplicates_dropped()
     }
 
     // ----- collectives (delegating to `collectives`) --------------------------
@@ -952,6 +1431,225 @@ mod tests {
         let u = small_universe(1);
         u.launch(|_| ());
         u.launch(|_| ());
+    }
+
+    // ----- fault injection ---------------------------------------------------
+
+    /// Drop the first `n` attempts of every message.
+    #[derive(Debug)]
+    struct DropFirstN(u32);
+    impl FaultInjector for DropFirstN {
+        fn on_attempt(&self, _link: &LinkCtx, attempt: u32) -> SendOutcome {
+            if attempt < self.0 {
+                SendOutcome::Drop
+            } else {
+                SendOutcome::CLEAN
+            }
+        }
+    }
+
+    /// Deliver every message plus two duplicate copies.
+    #[derive(Debug)]
+    struct DupAll;
+    impl FaultInjector for DupAll {
+        fn on_attempt(&self, _link: &LinkCtx, _attempt: u32) -> SendOutcome {
+            SendOutcome::Deliver { extra_delay_ns: 0.0, duplicates: 2 }
+        }
+    }
+
+    /// Crash one rank at a wire-op count; everything else is clean.
+    #[derive(Debug)]
+    struct CrashAtOps {
+        world: usize,
+        ops: u64,
+    }
+    impl FaultInjector for CrashAtOps {
+        fn on_attempt(&self, _link: &LinkCtx, _attempt: u32) -> SendOutcome {
+            SendOutcome::CLEAN
+        }
+        fn crash_point(&self, world: usize) -> Option<CrashPoint> {
+            (world == self.world).then_some(CrashPoint::OpCount(self.ops))
+        }
+    }
+
+    fn faulty_universe(n: usize, inj: Arc<dyn FaultInjector>) -> Universe {
+        let machine = Machine::cluster(2, 2, 4);
+        let cfg = UniverseConfig::new(machine, Placement::packed(n)).with_injector(inj);
+        Universe::new(cfg)
+    }
+
+    #[test]
+    fn dropped_sends_are_retried_and_recovered() {
+        let u = faulty_universe(2, Arc::new(DropFirstN(3)));
+        let retries = u.launch(|rank| {
+            let world = rank.comm_world();
+            if rank.world_rank() == 0 {
+                rank.send(&world, 1, 7, &[11u64, 22, 33]);
+            } else {
+                let (v, st) = rank.recv::<u64>(&world, SrcSel::Rank(0), TagSel::Is(7));
+                assert_eq!(v, vec![11, 22, 33]);
+                assert_eq!(st.bytes, 24);
+            }
+            rank.retry_count()
+        });
+        assert_eq!(retries, vec![3, 0]);
+        assert_eq!(u.nic().retries_total(), 3);
+        // Retries never inflate the transmit counters: one logical message.
+        assert_eq!(u.nic().xmit_msgs(0) + u.nic().xmit_msgs(1), 0); // intra-node
+    }
+
+    #[test]
+    fn retry_storm_costs_virtual_time() {
+        let clean = faulty_universe(2, Arc::new(DropFirstN(0)));
+        let lossy = faulty_universe(2, Arc::new(DropFirstN(5)));
+        let run = |u: &Universe| {
+            u.launch(|rank| {
+                let world = rank.comm_world();
+                if rank.world_rank() == 0 {
+                    rank.send(&world, 1, 0, &[0u8; 256]);
+                    0.0
+                } else {
+                    rank.recv::<u8>(&world, SrcSel::Rank(0), TagSel::Is(0));
+                    rank.now_ns()
+                }
+            })[1]
+        };
+        let (t_clean, t_lossy) = (run(&clean), run(&lossy));
+        // 5 lost transmissions + exponential backoff strictly delay arrival.
+        assert!(t_lossy > t_clean, "lossy {t_lossy} should exceed clean {t_clean}");
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_transparent() {
+        let u = faulty_universe(2, Arc::new(DupAll));
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            if rank.world_rank() == 0 {
+                for i in 0..5u64 {
+                    rank.send(&world, 1, i as u32, &[i, i * 10]);
+                }
+            } else {
+                for i in 0..5u64 {
+                    let (v, _) = rank.recv::<u64>(&world, SrcSel::Rank(0), TagSel::Is(i as u32));
+                    assert_eq!(v, vec![i, i * 10], "payload corrupted at message {i}");
+                }
+                // Duplicates of earlier messages were drained (and dropped)
+                // while matching later ones.
+                assert!(rank.duplicates_dropped() >= 8, "dups: {}", rank.duplicates_dropped());
+            }
+        });
+    }
+
+    #[test]
+    fn launch_faulty_reports_crash_and_preserves_survivors() {
+        let u = faulty_universe(2, Arc::new(CrashAtOps { world: 1, ops: 0 }));
+        let results = u.launch_faulty(|rank| {
+            let world = rank.comm_world();
+            if rank.world_rank() == 0 {
+                let err = rank
+                    .recv_or_failure::<u64>(&world, 1, 9)
+                    .expect_err("peer crashed before sending");
+                assert_eq!(err.world, 1);
+            } else {
+                // First wire op: dies in the send prologue.
+                rank.send(&world, 0, 9, &[1u64]);
+            }
+            rank.world_rank()
+        });
+        assert_eq!(results[0], Ok(0));
+        assert_eq!(results[1], Err(RankFailure::Crashed { at_ns: 0.0, ops: 0 }));
+        assert_eq!(u.alive(), vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "use Universe::launch_faulty to recover")]
+    fn strict_launch_rejects_scheduled_crash() {
+        let u = faulty_universe(2, Arc::new(CrashAtOps { world: 1, ops: 0 }));
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            if rank.world_rank() == 0 {
+                let _ = rank.recv_or_failure::<u64>(&world, 1, 9);
+            } else {
+                rank.send(&world, 0, 9, &[1u64]);
+            }
+        });
+    }
+
+    #[test]
+    fn data_sent_before_crash_is_delivered_first() {
+        let u = faulty_universe(2, Arc::new(CrashAtOps { world: 1, ops: 1 }));
+        let results = u.launch_faulty(|rank| {
+            let world = rank.comm_world();
+            if rank.world_rank() == 0 {
+                // The pre-crash message must arrive before the death notice.
+                let (v, _) = rank
+                    .recv_or_failure::<u64>(&world, 1, 5)
+                    .expect("data was on the wire before the crash");
+                assert_eq!(v, vec![42]);
+                // The next receive hits the (cached) failure.
+                let err = rank.recv_or_failure::<u64>(&world, 1, 5).expect_err("peer is dead");
+                assert_eq!(err.world, 1);
+                assert!(err.at_ns > 0.0);
+            } else {
+                rank.send(&world, 0, 5, &[42u64]); // op 0: completes
+                rank.send(&world, 0, 5, &[43u64]); // op 1: crashes in the prologue
+            }
+        });
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(RankFailure::Crashed { ops: 1, .. })));
+    }
+
+    #[test]
+    fn liveness_exchange_and_shrink_continue_collectives() {
+        let u = faulty_universe(4, Arc::new(CrashAtOps { world: 2, ops: 0 }));
+        let results = u.launch_faulty(|rank| {
+            let world = rank.comm_world();
+            if rank.world_rank() == 2 {
+                // First wire op is the liveness ping: dies before sending it.
+                let _ = rank.liveness_exchange(&world);
+                return Vec::new();
+            }
+            let alive = rank.liveness_exchange(&world);
+            assert_eq!(alive, vec![true, true, false, true]);
+            let work = rank.comm_shrink(&world, &alive);
+            assert_eq!(work.size(), 3);
+            // Collectives run on the shrunk communicator.
+            rank.allgather(&work, &[rank.world_rank() as u64])
+        });
+        for (w, r) in results.iter().enumerate() {
+            match r {
+                Ok(v) if w != 2 => assert_eq!(v, &vec![0, 1, 3]),
+                Ok(_) => panic!("rank 2 should have crashed"),
+                Err(f) => {
+                    assert_eq!(w, 2);
+                    assert!(matches!(f, RankFailure::Crashed { ops: 0, .. }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shrunk_comm_ids_are_deterministic_and_distinct() {
+        let u = small_universe(4);
+        u.launch(|rank| {
+            if rank.world_rank() == 2 {
+                return; // "dead" in bitmap a; shrink asserts own liveness
+            }
+            let world = rank.comm_world();
+            let a = rank.comm_shrink(&world, &[true, true, false, true]);
+            let b = rank.comm_shrink(&world, &[true, true, false, true]);
+            assert_eq!(a.id(), b.id(), "same bitmap must derive the same id");
+            if rank.world_rank() != 3 {
+                let c = rank.comm_shrink(&world, &[true, true, true, false]);
+                assert_ne!(a.id(), c.id(), "different bitmaps must not collide");
+            }
+            let expect = match rank.world_rank() {
+                0 => 0,
+                1 => 1,
+                _ => 2,
+            };
+            assert_eq!(a.rank(), expect);
+        });
     }
 
     #[test]

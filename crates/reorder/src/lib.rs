@@ -14,9 +14,10 @@
 //! Processes never move: only the rank labels rotate, so a rank-based
 //! communication pattern lands on topologically closer core pairs.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use mim_core::{Flags, Monitoring};
+use mim_core::{Flags, GatheredData, Monitoring};
 use mim_mpisim::{Comm, Rank, SrcSel, TagSel};
 use mim_topology::{inverse_permutation, CommMatrix, Machine, Placement};
 use mim_treematch::place_constrained;
@@ -104,6 +105,155 @@ pub fn monitored_reorder(
     let reorder_cost_ns = rank.now_ns() - t0;
     mon.free(id).expect("free monitoring session");
     ReorderOutcome { comm: opt_comm, k, reorder_cost_ns, mapping_wall_s }
+}
+
+/// Deterministic virtual-time charge for the mapping computation in the
+/// resilient reorder path, per cell of the (possibly shrunk) matrix.  The
+/// strict path measures wall-clock TreeMatch time and charges that; the
+/// resilient path must replay bit-identically under a fixed chaos seed, so
+/// it charges this flat model instead (calibrated to the observed ~50 ns
+/// per matrix cell of the in-tree TreeMatch on small communicators).
+pub const MAPPING_CHARGE_PER_PAIR_NS: f64 = 50.0;
+
+/// How a resilient reordering degraded, if it did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReorderFallback {
+    /// The full reordering went through: every rank alive, mapping computed.
+    None,
+    /// The gather or the mapping failed; the loop fell back to the identity
+    /// permutation (the optimized communicator equals the working one).
+    /// Carries the reason — on non-root ranks a generic marker, since only
+    /// the root observes the failure.
+    Identity(String),
+    /// Ranks crashed: reordering proceeded ULFM-style on the shrunk
+    /// communicator.  `crashed` holds their *original* communicator ranks.
+    Shrunk { crashed: Vec<usize> },
+}
+
+/// Result of a fault-tolerant reordering
+/// ([`monitored_reorder_resilient`]).
+pub struct ResilientOutcome {
+    /// The optimized communicator over the surviving ranks.
+    pub comm: Comm,
+    /// The permutation over the *working* (possibly shrunk) communicator:
+    /// `k[i]` is the new rank of the process holding working rank `i`.
+    pub k: Vec<usize>,
+    /// Liveness by original communicator rank, as agreed by the survivors.
+    pub alive: Vec<bool>,
+    /// Virtual time spent on the recovery + reordering step, in ns.
+    pub reorder_cost_ns: f64,
+    /// Whether and how the loop degraded.
+    pub fallback: ReorderFallback,
+    /// The gathered (possibly partial) matrices — root only.
+    pub gathered: Option<GatheredData>,
+}
+
+/// [`compute_mapping`], demoted to the identity permutation when it panics
+/// (degenerate matrix, TreeMatch invariant failure): the reorder loop must
+/// never die for want of an optimization.
+fn mapping_or_identity(
+    machine: &Machine,
+    placement: &Placement,
+    group: &[usize],
+    sizes: &CommMatrix,
+) -> (Vec<usize>, Option<String>) {
+    let n = sizes.order();
+    match catch_unwind(AssertUnwindSafe(|| compute_mapping(machine, placement, group, sizes))) {
+        Ok(k) => (k, None),
+        Err(p) => {
+            let why = p
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&'static str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "opaque mapping panic".into());
+            ((0..n).collect(), Some(why))
+        }
+    }
+}
+
+/// Self-healing variant of [`monitored_reorder`]: the paper's Fig. 1 loop,
+/// hardened so that neither a crashed rank nor a failed gather/mapping can
+/// take the application down with it.
+///
+/// After the monitored section the survivors agree on a liveness bitmap
+/// (`Rank::liveness_exchange`), gather the matrices *partially* — dead
+/// ranks' rows zeroed, flagged in `GatheredData::liveness` — and, when
+/// anyone died, shrink the communicator ULFM-style (`Rank::comm_shrink`)
+/// before computing the mapping over the surviving submatrix.  A gather or
+/// TreeMatch failure demotes the permutation to identity instead of
+/// panicking.  The returned communicator is always usable.
+///
+/// The `monitored` closure must itself be fault-aware when running under
+/// fault injection (use `Rank::recv_or_failure` rather than plain `recv`),
+/// or a survivor can block on a message its dead peer never sent.
+///
+/// # Panics
+/// Panics only on caller-side session-discipline errors (as
+/// [`monitored_reorder`]) — never on peer failure.
+pub fn monitored_reorder_resilient(
+    rank: &Rank,
+    mon: &Monitoring,
+    comm: &Comm,
+    flags: Flags,
+    monitored: impl FnOnce(&Comm),
+) -> ResilientOutcome {
+    let id = mon.start(rank, comm).expect("start monitoring session");
+    monitored(comm);
+    mon.suspend(id).expect("suspend monitoring session");
+    let t0 = rank.now_ns();
+
+    let alive = rank.liveness_exchange(comm);
+    let crashed: Vec<usize> = (0..comm.size()).filter(|&r| !alive[r]).collect();
+
+    // Partial gather on the ORIGINAL communicator (its member list still
+    // names the dead, which is exactly what the liveness bitmap indexes).
+    let (gathered, root_why) = match mon.rootgather_partial(rank, id, 0, flags, &alive) {
+        Ok(g) => (g, None),
+        Err(e) => (None, Some(format!("partial gather failed: {e}"))),
+    };
+
+    let work = if crashed.is_empty() { comm.clone() } else { rank.comm_shrink(comm, &alive) };
+    let m = work.size();
+
+    // k ‖ identity-fallback flag, one bcast from the working root.
+    let mut k_buf: Vec<u64> = vec![0; m + 1];
+    let mut why = None;
+    if work.rank() == 0 {
+        let (k, fail) = match (&gathered, root_why) {
+            (Some(data), None) => {
+                let live: Vec<usize> = (0..comm.size()).filter(|&r| alive[r]).collect();
+                let mut sub = CommMatrix::zeros(m);
+                for a in 0..m {
+                    for b in 0..m {
+                        sub.set(a, b, data.sizes.get(live[a], live[b]));
+                    }
+                }
+                mapping_or_identity(rank.machine(), rank.placement(), work.group(), &sub)
+            }
+            (_, w) => ((0..m).collect(), Some(w.unwrap_or_else(|| "no matrix at root".into()))),
+        };
+        rank.compute_ns(MAPPING_CHARGE_PER_PAIR_NS * (m * m) as f64);
+        for (i, &ki) in k.iter().enumerate() {
+            k_buf[i] = ki as u64;
+        }
+        k_buf[m] = u64::from(fail.is_some());
+        why = fail;
+    }
+    rank.bcast(&work, 0, &mut k_buf);
+    let k: Vec<usize> = k_buf[..m].iter().map(|&v| v as usize).collect();
+    let identity = k_buf[m] == 1;
+    let opt_comm = rank.comm_split(&work, 0, k[work.rank()] as i64);
+    let reorder_cost_ns = rank.now_ns() - t0;
+    mon.free(id).expect("free monitoring session");
+
+    let fallback = if !crashed.is_empty() {
+        ReorderFallback::Shrunk { crashed }
+    } else if identity {
+        ReorderFallback::Identity(why.unwrap_or_else(|| "mapping failed on root".into()))
+    } else {
+        ReorderFallback::None
+    };
+    ResilientOutcome { comm: opt_comm, k, alive, reorder_cost_ns, fallback, gathered }
 }
 
 /// Compute a fresh placement for an *elastic* reconfiguration (the paper's
@@ -251,6 +401,48 @@ mod tests {
             assert!(outcome.reorder_cost_ns > 0.0);
             mon.finalize(rank).unwrap();
         });
+    }
+
+    #[test]
+    fn resilient_without_faults_matches_strict_shape() {
+        let u = cyclic_universe();
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let mon = Monitoring::init(rank).unwrap();
+            let outcome =
+                monitored_reorder_resilient(rank, &mon, &world, Flags::P2P_ONLY, |comm| {
+                    pair_exchange(rank, comm, 4 << 20)
+                });
+            assert_eq!(outcome.fallback, ReorderFallback::None);
+            assert_eq!(outcome.alive, vec![true; 8]);
+            assert_eq!(outcome.comm.size(), world.size());
+            // k is a permutation assigning this process its new rank.
+            let _ = inverse_permutation(&outcome.k);
+            assert_eq!(outcome.comm.rank(), outcome.k[world.rank()]);
+            assert!(outcome.reorder_cost_ns > 0.0);
+            if world.rank() == 0 {
+                let g = outcome.gathered.as_ref().expect("root holds the matrices");
+                assert_eq!(g.liveness, vec![true; 8]);
+                assert!((0..8).any(|i| (0..8).any(|j| g.sizes.get(i, j) > 0)));
+            } else {
+                assert!(outcome.gathered.is_none());
+            }
+            mon.finalize(rank).unwrap();
+        });
+    }
+
+    #[test]
+    fn mapping_failure_demotes_to_identity() {
+        let machine = Machine::cluster(2, 1, 8);
+        let placement = Placement::packed(8);
+        // Group larger than the matrix: compute_mapping's own assertion
+        // fires, and the wrapper must catch it.
+        let group: Vec<usize> = (0..8).collect();
+        let sizes = CommMatrix::zeros(4);
+        let (k, why) = mapping_or_identity(&machine, &placement, &group, &sizes);
+        assert_eq!(k, vec![0, 1, 2, 3]);
+        let why = why.expect("mapping must report its failure");
+        assert!(why.contains("matrix order"), "unexpected reason: {why}");
     }
 
     #[test]

@@ -110,6 +110,21 @@ pub enum TraceData {
         /// Raw session id (`u64::MAX` for all-session operations).
         msid: u64,
     },
+    /// One wire-level retransmission: the previous attempt was dropped by
+    /// the fault plan and the sender's ack timer fired.
+    Retry {
+        /// Destination world rank of the retried message.
+        dst: usize,
+        /// Attempt number that was lost (0 = the first transmission).
+        attempt: u32,
+        /// Backoff charged to the sender's clock before the next attempt (ns).
+        backoff_ns: u64,
+    },
+    /// This rank was crashed by the fault plan (its last trace event).
+    RankCrash {
+        /// Wire operations the rank completed before dying.
+        ops: u64,
+    },
     /// One step of the schedule evaluator's discrete-event engine.
     DesStep {
         /// Simulated communicator rank executing the step.
@@ -409,6 +424,10 @@ fn describe(data: &TraceData) -> String {
         TraceData::CollBegin { name, comm, id } => format!("begin {name} comm={comm} coll#{id}"),
         TraceData::CollEnd { name, comm, id } => format!("end   {name} comm={comm} coll#{id}"),
         TraceData::Session { action, msid } => format!("session {action} msid={msid:#x}"),
+        TraceData::Retry { dst, attempt, backoff_ns } => {
+            format!("RETRY -> rank {dst} attempt {attempt} backoff {backoff_ns}ns")
+        }
+        TraceData::RankCrash { ops } => format!("RANK CRASH after {ops} wire ops"),
         TraceData::DesStep { rank, op, peer, bytes } => {
             format!("des rank {rank} {op} peer {peer} {bytes}B")
         }
@@ -478,6 +497,15 @@ fn jsonl_line(track: &str, tid: usize, ev: &TraceEvent) -> String {
         TraceData::Session { action, msid } => {
             let _ = write!(s, "\"type\":\"session\",\"action\":\"{action}\",\"msid\":{msid}");
         }
+        TraceData::Retry { dst, attempt, backoff_ns } => {
+            let _ = write!(
+                s,
+                "\"type\":\"retry\",\"dst\":{dst},\"attempt\":{attempt},\"backoff_ns\":{backoff_ns}"
+            );
+        }
+        TraceData::RankCrash { ops } => {
+            let _ = write!(s, "\"type\":\"rank_crash\",\"ops\":{ops}");
+        }
         TraceData::DesStep { rank, op, peer, bytes } => {
             let _ = write!(
                 s,
@@ -515,6 +543,14 @@ fn chrome_line(tid: usize, ev: &TraceEvent) -> String {
         TraceData::Session { action, msid } => format!(
             "\"name\":\"session_{action}\",\"cat\":\"session\",\"ph\":\"i\",\"s\":\"t\",\
              \"args\":{{\"msid\":{msid}}}"
+        ),
+        TraceData::Retry { dst, attempt, backoff_ns } => format!(
+            "\"name\":\"retry\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"args\":{{\
+             \"dst\":{dst},\"attempt\":{attempt},\"backoff_ns\":{backoff_ns}}}"
+        ),
+        TraceData::RankCrash { ops } => format!(
+            "\"name\":\"rank_crash\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+             \"args\":{{\"ops\":{ops}}}"
         ),
         TraceData::DesStep { rank, op, peer, bytes } => format!(
             "\"name\":\"des_{op}\",\"cat\":\"des\",\"ph\":\"i\",\"s\":\"t\",\"args\":{{\

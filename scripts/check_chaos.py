@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""CI chaos gate: deterministic fault injection must replay byte-for-byte.
+
+Runs the ``chaos_stencil`` example (8-rank halo exchange inside the
+self-healing reorder loop, with a plan that drops/duplicates wire
+transmissions and crashes rank 3 at its 18th wire operation) twice under
+a fixed ``MIM_CHAOS_SEED``, each time with ``MIM_TRACE`` pointed at a
+fresh JSONL file, and checks:
+
+1. the example itself exits 0 — its own asserts cover the recovery
+   contract (crash detected at iteration 3, seven survivors, ULFM-style
+   shrink-and-remap, equal checksums on the shrunk communicator);
+2. stdout markers: the crashed rank is reported ``DEAD``, the shrink is
+   reported, and the final "all checks passed" line is present;
+3. stdout is byte-identical across the two runs;
+4. the two trace dumps are identical after *normalization* (below);
+5. the trace contains ``retry`` and ``rank_crash`` fault events, and
+   passes ``check_trace.py``'s structural checks.
+
+Normalization, and why it is honest: threads append to the shared trace
+file as they go, so lines from different ranks interleave in wall-clock
+order — sorting restores a canonical order without touching content.
+``tid`` is the tracer's registration index, assigned in whatever order
+the rank threads start; the workload runs a single universe, so track
+*names* already identify ranks uniquely and ``tid`` is zeroed.  The
+``recv`` event's ``uq`` field reports how many envelopes happened to
+sit in the unexpected queue when the match landed, a function of OS
+scheduling even between two fault-free runs, so it is zeroed too.  Every
+virtual-time field — timestamps, retry counts and backoffs, payload
+sizes, crash op counts, per-track sequence numbers — is compared exactly.
+
+Usage: check_chaos.py path/to/chaos_stencil [seed]
+"""
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+SEED = "42"
+CRASH_RANK = 3
+SURVIVORS = 7
+
+
+def run_once(example, seed, trace_path, problems):
+    env = dict(os.environ, MIM_CHAOS_SEED=seed, MIM_TRACE=trace_path)
+    env.pop("MIM_CHAOS_PLAN", None)  # the gate checks the built-in plan
+    r = subprocess.run([example], capture_output=True, text=True, env=env, check=False)
+    if r.returncode != 0:
+        problems.append(
+            f"chaos_stencil (seed {seed}) exited {r.returncode}:\n{r.stdout}{r.stderr}"
+        )
+    return r.stdout
+
+
+def normalize(trace_path):
+    with open(trace_path) as f:
+        lines = [
+            re.sub(r'"tid":\d+', '"tid":0', re.sub(r'"uq":\d+', '"uq":0', ln))
+            for ln in f
+            if ln.strip()
+        ]
+    return sorted(lines)
+
+
+def check_stdout(out, problems):
+    if f"rank {CRASH_RANK}: DEAD" not in out:
+        problems.append(f"stdout never reports rank {CRASH_RANK} dead")
+    if f"survivors: {SURVIVORS}/8" not in out:
+        problems.append(f"stdout never reports {SURVIVORS}/8 survivors")
+    if "recovered by shrink-and-remap; all checks passed" not in out:
+        problems.append("stdout missing the final all-checks-passed line")
+
+
+def check_fault_events(lines, problems):
+    retries = sum('"type":"retry"' in ln for ln in lines)
+    crashes = sum('"type":"rank_crash"' in ln for ln in lines)
+    if retries == 0:
+        problems.append("trace has no retry events (10% drop plan must retry)")
+    if crashes != 1:
+        problems.append(f"trace has {crashes} rank_crash events, want exactly 1")
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    example = sys.argv[1]
+    seed = sys.argv[2] if len(sys.argv) == 3 else SEED
+    here = os.path.dirname(os.path.abspath(__file__))
+    problems = []
+    with tempfile.TemporaryDirectory() as tmp:
+        traces = [os.path.join(tmp, f"run{i}.jsonl") for i in (1, 2)]
+        outs = [run_once(example, seed, t, problems) for t in traces]
+        if problems:
+            for p in problems:
+                print(f"  BAD  {p}", file=sys.stderr)
+            print("check_chaos: example failed; skipping replay checks", file=sys.stderr)
+            return 1
+        check_stdout(outs[0], problems)
+        if outs[0] != outs[1]:
+            problems.append(f"stdout diverged between two seed-{seed} runs")
+        norms = [normalize(t) for t in traces]
+        if norms[0] != norms[1]:
+            diff = sum(a != b for a, b in zip(norms[0], norms[1]))
+            diff += abs(len(norms[0]) - len(norms[1]))
+            problems.append(
+                f"normalized traces diverged between two seed-{seed} runs "
+                f"({len(norms[0])} vs {len(norms[1])} lines, {diff} differing)"
+            )
+        check_fault_events(norms[0], problems)
+        for t in traces:
+            r = subprocess.run(
+                [sys.executable, os.path.join(here, "check_trace.py"), t],
+                capture_output=True,
+                text=True,
+                check=False,
+            )
+            if r.returncode != 0:
+                problems.append(f"check_trace.py rejected {t}:\n{r.stdout}{r.stderr}")
+        nlines = len(norms[0])
+    if problems:
+        for p in problems:
+            print(f"  BAD  {p}", file=sys.stderr)
+        print(f"check_chaos: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(
+        f"check_chaos: ok (seed {seed} replayed byte-identically; "
+        f"{nlines} trace events, crash + shrink-and-remap verified twice)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

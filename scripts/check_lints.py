@@ -57,11 +57,6 @@ ALLOWLIST = [
     ("varcount.rs", 'expect("scatterv root must provide chunks")'),
     ("varcount.rs", 'expect("ring block not yet received")'),
     ("varcount.rs", 'expect("missing allgatherv block")'),
-    # Slot occupancy is the session table's own invariant (checked lookups
-    # return MimError before reaching these accessors).
-    ("session.rs", ".as_ref().unwrap()"),
-    ("session.rs", ".as_mut().unwrap()"),
-    ("session.rs", ".take().unwrap()"),
 ]
 
 UNWRAP_RE = re.compile(r"\.unwrap\(\)|\.expect\(")

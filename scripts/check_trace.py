@@ -36,6 +36,8 @@ import sys
 EVENT_FIELDS = {
     "send": {"dst", "bytes", "kind", "comm", "tag"},
     "send_failed": {"dst"},
+    "retry": {"dst", "attempt", "backoff_ns"},
+    "rank_crash": {"ops"},
     "recv": {"src", "bytes", "comm", "tag", "uq"},
     "coll_begin": {"name", "comm", "id"},
     "coll_end": {"name", "comm", "id"},
@@ -117,6 +119,8 @@ def parse_chrome(text, errors):
     chrome_type = {
         "send": "send",
         "send_failed": "send_failed",
+        "retry": "retry",
+        "rank_crash": "rank_crash",
         "recv": "recv",
     }
     events = []
