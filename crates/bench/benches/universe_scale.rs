@@ -1,0 +1,65 @@
+//! Wall-clock cost of a whole universe run as the rank count climbs from
+//! 64 to 10,000 — the M:N executor's headline number.  Thread-per-rank
+//! tops out at a few thousand OS threads; the task engine multiplexes every
+//! rank onto `available_parallelism` workers, so the ladder's top rung is a
+//! 10k-rank universe on a fixed-size pool.
+//!
+//! The workload is a neighbour ring (synthetic send right, receive left,
+//! two rounds): every rank parks at least twice per round, which is the
+//! pattern the executor has to make cheap.  A small thread-per-rank arm
+//! rides along as the reference point.
+
+use mim_util::bench::{black_box, Bench};
+
+use mim_mpisim::{ExecutorKind, SrcSel, TagSel, Universe, UniverseConfig};
+use mim_topology::{Machine, Placement};
+
+const ROUNDS: u32 = 2;
+const BYTES: u64 = 256;
+
+/// One full universe: build, launch, ring-exchange, join.  Returns rank 0's
+/// virtual completion time so the optimizer can't elide the run.
+fn ring(kind: ExecutorKind, n: usize) -> f64 {
+    // One 64-core node per 64 ranks keeps the machine tree proportional to
+    // the universe instead of hiding topology cost at scale.
+    let nodes = n.div_ceil(64);
+    let mut cfg = UniverseConfig::new(Machine::cluster(nodes, 1, 64), Placement::packed(n));
+    cfg.executor = kind;
+    let times = Universe::new(cfg).launch(|rank| {
+        let world = rank.comm_world();
+        let me = world.rank();
+        let size = world.size();
+        let right = (me + 1) % size;
+        let left = (me + size - 1) % size;
+        for round in 0..ROUNDS {
+            rank.send_synthetic(&world, right, round, BYTES);
+            rank.recv_synthetic(&world, SrcSel::Rank(left), TagSel::Is(round));
+        }
+        rank.now_ns()
+    });
+    times[0]
+}
+
+fn main() {
+    let mut b = Bench::new("universe_scale");
+
+    // Reference: the thread-per-rank engine at a size every CI box tolerates.
+    for n in [64usize, 256] {
+        b.iter("universe_scale", &format!("threads/{n}"), || {
+            black_box(ring(ExecutorKind::Threads, n));
+        });
+    }
+
+    if mim_util::fiber::SUPPORTED {
+        // The task engine's ladder; the 10k rung is the acceptance bar.
+        for n in [64usize, 256, 1024, 4096, 10_000] {
+            b.iter("universe_scale", &format!("tasks/{n}"), || {
+                black_box(ring(ExecutorKind::Tasks, n));
+            });
+        }
+    } else {
+        eprintln!("universe_scale: fiber backend unsupported on this target; tasks ladder skipped");
+    }
+
+    b.finish();
+}

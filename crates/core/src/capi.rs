@@ -39,7 +39,7 @@
 
 use std::cell::RefCell;
 
-use mim_mpisim::{Comm, Rank};
+use mim_mpisim::{exec, Comm, Rank};
 
 use crate::api::Monitoring;
 use crate::error::MonError;
@@ -82,8 +82,50 @@ pub const MPI_M_OSC_ONLY: Flags = Flags::OSC_ONLY;
 pub const MPI_M_ALL_COMM: Flags = Flags::ALL_COMM;
 
 thread_local! {
-    /// The per-process monitoring environment (each rank is a thread).
+    /// The per-process monitoring environment under thread-per-rank
+    /// (each rank is a thread).
     static ENV: RefCell<Option<Monitoring>> = const { RefCell::new(None) };
+}
+
+/// The monitoring environment of a rank *task* under the M:N executor,
+/// where "per-process" state cannot be thread-local: several ranks share
+/// each worker thread, and a parked rank may resume on a different one.
+///
+/// SAFETY (`Send`): `Monitoring` is `!Send` (it shares `Rc`s with its
+/// `Rank`), but rank and environment live in the same fiber task, which the
+/// scheduler runs on one worker at a time with a happens-before edge across
+/// every migration — the exact argument that makes the suspended fiber
+/// itself `Send`.  This wrapper only lets the registry hold the value
+/// *between* capi calls made by that same task.
+struct TaskEnv(Monitoring);
+unsafe impl Send for TaskEnv {}
+
+/// Task-keyed twin of [`ENV`].  Entries are taken out for the duration of
+/// each capi call (never locked across user code, which may park the task)
+/// and reinserted afterwards.
+static TASK_ENVS: std::sync::LazyLock<
+    std::sync::Mutex<std::collections::HashMap<exec::TaskId, TaskEnv>>,
+> = std::sync::LazyLock::new(|| std::sync::Mutex::new(std::collections::HashMap::new()));
+
+/// Run `f` on the calling rank's environment slot — the fiber task's
+/// registry entry under the M:N executor, the thread-local otherwise.
+fn with_env_slot<R>(f: impl FnOnce(&mut Option<Monitoring>) -> R) -> R {
+    let Some(tid) = exec::current_task() else {
+        return ENV.with(|env| f(&mut env.borrow_mut()));
+    };
+    let mut slot = TASK_ENVS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .remove(&tid)
+        .map(|e| e.0);
+    let r = f(&mut slot);
+    if let Some(mon) = slot {
+        TASK_ENVS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(tid, TaskEnv(mon));
+    }
+    r
 }
 
 fn code(e: MonError) -> i32 {
@@ -101,7 +143,7 @@ fn code(e: MonError) -> i32 {
 }
 
 fn with_env<F: FnOnce(&Monitoring) -> Result<(), MonError>>(f: F) -> i32 {
-    ENV.with(|env| match env.borrow().as_ref() {
+    with_env_slot(|slot| match slot.as_ref() {
         None => MPI_M_MISSING_INIT,
         Some(mon) => match f(mon) {
             Ok(()) => MPI_SUCCESS,
@@ -112,8 +154,7 @@ fn with_env<F: FnOnce(&Monitoring) -> Result<(), MonError>>(f: F) -> i32 {
 
 /// Set the monitoring environment (paper: `MPI_M_init`).
 pub fn MPI_M_init(rank: &Rank) -> i32 {
-    ENV.with(|env| {
-        let mut slot = env.borrow_mut();
+    with_env_slot(|slot| {
         if slot.is_some() {
             return MPI_M_MULTIPLE_CALL; // environments must not overlap
         }
@@ -129,18 +170,15 @@ pub fn MPI_M_init(rank: &Rank) -> i32 {
 
 /// Finalize the monitoring environment (paper: `MPI_M_finalize`).
 pub fn MPI_M_finalize(rank: &Rank) -> i32 {
-    ENV.with(|env| {
-        let mut slot = env.borrow_mut();
-        match slot.as_ref() {
-            None => MPI_M_MISSING_INIT,
-            Some(mon) => match mon.finalize(rank) {
-                Ok(()) => {
-                    *slot = None;
-                    MPI_SUCCESS
-                }
-                Err(e) => code(e),
-            },
-        }
+    with_env_slot(|slot| match slot.as_ref() {
+        None => MPI_M_MISSING_INIT,
+        Some(mon) => match mon.finalize(rank) {
+            Ok(()) => {
+                *slot = None;
+                MPI_SUCCESS
+            }
+            Err(e) => code(e),
+        },
     })
 }
 

@@ -1,0 +1,99 @@
+//! Monitoring sessions across the M:N executor: the introspection library's
+//! gathered matrices must be bit-identical whether ranks run as OS threads
+//! or as parked/resumed fiber tasks — sessions opened before a park must be
+//! found intact after the task resumes (possibly on a different worker),
+//! and the paper's C-shaped API must keep its "per-process" environment
+//! per *rank task*, not per worker thread.
+
+use mim_core::capi::*;
+use mim_core::{Flags, GatheredData, Monitoring};
+use mim_mpisim::{ExecutorKind, Rank, SrcSel, TagSel, Universe, UniverseConfig};
+use mim_topology::{Machine, Placement};
+
+fn universe(kind: ExecutorKind, n: usize) -> Universe {
+    let mut cfg = UniverseConfig::new(Machine::cluster(2, 1, 4), Placement::packed(n));
+    cfg.executor = kind;
+    Universe::new(cfg)
+}
+
+/// A monitored workload whose every receive parks the task under the M:N
+/// engine: sessions span collectives, p2p, suspends and resumes.
+fn monitored(rank: &Rank) -> GatheredData {
+    let world = rank.comm_world();
+    let n = world.size();
+    let me = world.rank();
+    let mon = Monitoring::init(rank).expect("init");
+    let msid = mon.start(rank, &world).expect("start");
+
+    // P2p ring + two collectives inside the session.
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    rank.send(&world, right, 1, &[me as i64]);
+    let _ = rank.recv::<i64>(&world, SrcSel::Rank(left), TagSel::Is(1));
+    let _ = rank.allreduce(&world, &[1i64], |a, b| a + b);
+    rank.barrier(&world);
+
+    // Suspend across more (unmonitored) traffic, then resume and add one
+    // more exchange — the session's identity must survive the parks.
+    mon.suspend(msid).expect("suspend");
+    rank.send_synthetic(&world, right, 2, 512);
+    rank.recv_synthetic(&world, SrcSel::Rank(left), TagSel::Is(2));
+    mon.resume(msid).expect("resume");
+    rank.send(&world, right, 3, &[0i64; 4]);
+    let _ = rank.recv::<i64>(&world, SrcSel::Rank(left), TagSel::Is(3));
+
+    mon.suspend(msid).expect("suspend final");
+    let gathered = mon.allgather_data(rank, msid, Flags::ALL_COMM).expect("gather");
+    mon.free(msid).expect("free");
+    mon.finalize(rank).expect("finalize");
+    gathered
+}
+
+#[test]
+fn gathered_matrices_are_identical_across_engines() {
+    const N: usize = 6;
+    let threads = universe(ExecutorKind::Threads, N).launch(monitored);
+    let tasks = universe(ExecutorKind::Tasks, N).launch(monitored);
+    // Every rank gathered the same matrices, and both engines agree.
+    for (t, k) in threads.iter().zip(&tasks) {
+        assert_eq!(t, &threads[0], "allgather disagreed within an engine");
+        assert_eq!(t, k, "Threads and Tasks gathered matrices diverged");
+    }
+}
+
+/// The paper's Listing-2 C API under the M:N executor: several rank tasks
+/// share each worker thread, so the "per-process" environment must follow
+/// the *task* — `MPI_M_init` on rank A must not collide with rank B on the
+/// same worker, and a session must survive parks between every call.
+#[test]
+fn capi_environment_is_per_rank_task_not_per_worker_thread() {
+    let u = universe(ExecutorKind::Tasks, 8);
+    let totals = u.launch(|rank| {
+        let world = rank.comm_world();
+        assert_eq!(MPI_M_init(rank), MPI_SUCCESS);
+        // A second init from the same rank must fail even though another
+        // rank's init on this worker thread happened in between parks.
+        assert_eq!(MPI_M_init(rank), MPI_M_MULTIPLE_CALL);
+        let mut id = MPI_M_MSID_NULL;
+        assert_eq!(MPI_M_start(rank, &world, &mut id), MPI_SUCCESS);
+        rank.barrier(&world);
+        let _ = rank.allreduce(&world, &[rank.world_rank() as i64], |a, b| a + b);
+        assert_eq!(MPI_M_suspend(id), MPI_SUCCESS);
+        let (mut provided, mut array_size) = (0i32, 0i32);
+        assert_eq!(MPI_M_get_info(id, &mut provided, &mut array_size), MPI_SUCCESS);
+        let len = array_size as usize;
+        let (mut counts, mut sizes) = (vec![0u64; len], vec![0u64; len]);
+        assert_eq!(MPI_M_get_data(id, &mut counts, &mut sizes, MPI_M_ALL_COMM), MPI_SUCCESS);
+        assert_eq!(MPI_M_free(id), MPI_SUCCESS);
+        assert_eq!(MPI_M_finalize(rank), MPI_SUCCESS);
+        // After finalize, the slot is empty again for THIS task only.
+        assert_eq!(MPI_M_suspend(MPI_M_ALL_MSID), MPI_M_MISSING_INIT);
+        counts.iter().sum::<u64>()
+    });
+    // The dissemination barrier and recursive-doubling allreduce send the
+    // same number of messages from every rank.
+    for t in &totals {
+        assert_eq!(t, &totals[0]);
+    }
+    assert!(totals[0] > 0);
+}

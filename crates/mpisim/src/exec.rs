@@ -1,0 +1,716 @@
+//! The M:N rank executor: every simulated rank is a resumable *task* (a
+//! stackful fiber, `mim_util::fiber`) multiplexed onto a fixed pool of
+//! worker threads by a work-stealing scheduler (`mim_util::deque`).
+//!
+//! Thread-per-rank ([`ExecutorKind::Threads`]) remains the always-available
+//! equivalence oracle; this module only changes *where* rank code runs, not
+//! *what* it computes — the virtual-clock DES is scheduling-independent, so
+//! completion times, monitoring matrices, NIC counters and per-rank trace
+//! streams are bit-identical across the two modes (property-tested in
+//! `tests/executor_equivalence.rs`).
+//!
+//! # Park/unpark protocol
+//!
+//! A rank that blocks in its mailbox parks its *task*, not a thread:
+//!
+//! 1. **Fiber side** ([`ParkerHandle::park`]): record the requested
+//!    deadline, raise `park_pending`, and `fiber::suspend()` back to the
+//!    worker.
+//! 2. **Worker side** (scheduler-side publish): only after the fiber has
+//!    fully switched out does the worker publish the parked state with
+//!    `CAS(Running → Parked)`.  A concurrent [`ExecShared::notify`] that
+//!    caught the task still `Running` left a `Notified` token instead; the
+//!    failed CAS observes it and the worker re-enqueues the task locally —
+//!    the wakeup is never lost, and a resumed fiber can never race its own
+//!    suspension.
+//! 3. **Sender side**: `Shared::post` delivers the envelope, then calls
+//!    `notify(dst)`, which CASes `Parked → Runnable` (pushing the task to
+//!    the injector and waking an idle worker) or `Running → Notified`.
+//!    `notify` never touches a `Notified` task, so a task is never enqueued
+//!    twice.
+//!
+//! # Deterministic stall resolution
+//!
+//! Thread-per-rank relies on wall-clock `recv_timeout` to detect
+//! application deadlock.  Here, when every worker is idle — provably
+//! quiescent: notifications only originate from running task code — the
+//! last idler checks for a stall: all live tasks parked and every queue
+//! empty.  It then wakes exactly one task — smallest `(deadline, world
+//! rank)` — with [`ParkWake::Deadline`], which surfaces in the mailbox as
+//! the same `Timeout` the wall clock would have produced, minus the wait.
+//!
+//! A task that never parks cannot be preempted (fibers are cooperative), so
+//! a separate watchdog thread reports *starvation* — no scheduler progress
+//! for a full deadline while runnable/parked tasks wait behind a spinning
+//! one — and aborts the process (exit 107): the honest analogue of the
+//! deadline panic a parked thread would have raised, for a fault that
+//! cannot be unwound from outside.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mim_util::deque::{deque, Injector, Steal, Stealer, WorkerQueue};
+use mim_util::fiber::{self, Fiber, Resume};
+use mim_util::sync::{Mutex, Notifier};
+
+/// Which engine `Universe::run_collect` uses to host rank code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// One OS thread per rank (the seed model; the equivalence oracle).
+    Threads,
+    /// M:N — ranks are fibers on a fixed work-stealing worker pool.
+    Tasks,
+}
+
+impl ExecutorKind {
+    /// Read `MIM_EXECUTOR` (`threads` | `tasks`); default [`Threads`].
+    /// Unrecognised values fall back to the default with a warning.
+    ///
+    /// [`Threads`]: ExecutorKind::Threads
+    pub fn from_env() -> Self {
+        match std::env::var("MIM_EXECUTOR").ok().as_deref() {
+            Some("tasks") => ExecutorKind::Tasks,
+            Some("threads") | None => ExecutorKind::Threads,
+            Some(other) => {
+                eprintln!("mim-mpisim: unknown MIM_EXECUTOR={other:?}; using threads");
+                ExecutorKind::Threads
+            }
+        }
+    }
+}
+
+/// Identity of the rank task the calling thread is currently executing:
+/// the scheduler instance (universes are process-unique) plus the task's
+/// world rank.  The *task-local storage key* for per-rank state that was
+/// per-thread under thread-per-rank — `mim-core`'s C-API environment keys
+/// its per-process monitoring slot by this, so a session opened before a
+/// park is found again after the task resumes on a different worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId {
+    /// Process-unique id of the owning scheduler ([`ExecShared`]).
+    pub exec: u64,
+    /// Task index == world rank within that scheduler.
+    pub index: usize,
+}
+
+thread_local! {
+    /// The task this worker thread is currently running (`None` on
+    /// non-worker threads and between tasks).
+    static CURRENT_TASK: std::cell::Cell<Option<TaskId>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The rank task the calling thread is executing, if any.  `None` under
+/// thread-per-rank (callers fall back to genuinely thread-local state).
+pub fn current_task() -> Option<TaskId> {
+    CURRENT_TASK.with(std::cell::Cell::get)
+}
+
+/// Allocator for [`TaskId::exec`].
+static NEXT_EXEC_ID: AtomicU64 = AtomicU64::new(0);
+
+// Task lifecycle states (`TaskSlot::state`).
+const RUNNABLE: u8 = 0;
+const RUNNING: u8 = 1;
+const NOTIFIED: u8 = 2;
+const PARKED: u8 = 3;
+const DONE: u8 = 4;
+
+// Wake reasons (`TaskSlot::wake`).
+const WAKE_NONE: u8 = 0;
+const WAKE_MESSAGE: u8 = 1;
+const WAKE_DEADLINE: u8 = 2;
+
+/// Why a parked task was resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ParkWake {
+    /// A message (or a spurious token) arrived; re-poll the channel.
+    Message,
+    /// Deterministic stall resolution: report the wait as timed out.
+    Deadline,
+}
+
+/// Per-task scheduler state.
+struct TaskSlot {
+    state: AtomicU8,
+    wake: AtomicU8,
+    /// Deadline (ms) the task's current park asked for; the stall resolver
+    /// wakes the smallest `(deadline_ms, world rank)` first, so recoverable
+    /// short-deadline waits resolve before long ones panic.
+    deadline_ms: AtomicU64,
+    /// Set by the fiber just before suspending; consumed by the worker to
+    /// distinguish a park request from a bare yield.
+    park_pending: AtomicBool,
+}
+
+/// Scheduler state shared between the universe, its rank tasks (via
+/// [`ParkerHandle`]) and the worker pool.
+pub(crate) struct ExecShared {
+    /// Process-unique scheduler id (the `exec` half of [`TaskId`]).
+    id: u64,
+    tasks: Vec<TaskSlot>,
+    injector: Injector,
+    /// The workers' steal handles, registered by [`run_tasks`] at launch
+    /// (the stall check needs to observe every queue).
+    stealers: Mutex<Vec<Stealer>>,
+    /// Wakes idle workers (epoch-counted; see `mim_util::sync::Notifier`).
+    notifier: Notifier,
+    /// Scheduler progress heartbeat for the starvation watchdog: bumped on
+    /// park, unpark, completion and stall resolution.
+    progress: Notifier,
+    /// Scheduler-visible *attempts* (every [`notify`](ExecShared::notify)
+    /// call, whatever its outcome).  The watchdog treats movement here as a
+    /// sign of life: a rank spin-sending to a starved peer is slow, not
+    /// stuck — only a task burning its worker with *no* scheduler
+    /// interaction at all is starvation.
+    activity: AtomicU64,
+    parked: AtomicUsize,
+    live: AtomicUsize,
+    idle: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Serialises stall checks (belt and braces: quiescence already makes
+    /// them exclusive).
+    stall_lock: Mutex<()>,
+    workers: AtomicUsize,
+}
+
+impl ExecShared {
+    /// Scheduler state for `n` rank tasks (created with the universe so the
+    /// wire layer can hold it before launch).
+    pub(crate) fn new(n: usize) -> Arc<ExecShared> {
+        Arc::new(ExecShared {
+            id: NEXT_EXEC_ID.fetch_add(1, Ordering::Relaxed),
+            tasks: (0..n)
+                .map(|_| TaskSlot {
+                    state: AtomicU8::new(RUNNABLE),
+                    wake: AtomicU8::new(WAKE_NONE),
+                    deadline_ms: AtomicU64::new(u64::MAX),
+                    park_pending: AtomicBool::new(false),
+                })
+                .collect(),
+            injector: Injector::new(),
+            stealers: Mutex::new(Vec::new()),
+            notifier: Notifier::new(),
+            progress: Notifier::new(),
+            activity: AtomicU64::new(0),
+            parked: AtomicUsize::new(0),
+            live: AtomicUsize::new(0),
+            idle: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            stall_lock: Mutex::new(()),
+            workers: AtomicUsize::new(0),
+        })
+    }
+
+    /// A park handle for task `index` (installed into its rank's mailbox).
+    pub(crate) fn parker(self: &Arc<Self>, index: usize) -> ParkerHandle {
+        ParkerHandle { exec: Arc::clone(self), index }
+    }
+
+    /// Wake task `dst` because a message was just delivered to its channel.
+    /// Safe to call from any thread, any number of times; never lost, never
+    /// double-enqueues (see the module-level protocol).
+    pub(crate) fn notify(&self, dst: usize) {
+        self.activity.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.tasks[dst];
+        loop {
+            match slot.state.load(Ordering::Acquire) {
+                PARKED => {
+                    if slot
+                        .state
+                        .compare_exchange(PARKED, RUNNABLE, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        slot.wake.store(WAKE_MESSAGE, Ordering::Release);
+                        self.parked.fetch_sub(1, Ordering::SeqCst);
+                        self.injector.push(dst);
+                        self.progress.notify();
+                        self.notifier.notify();
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if slot
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Runnable (already queued), Notified (token pending) or
+                // Done: nothing to do — the message sits in the channel and
+                // will be seen at the next poll, if any.
+                _ => return,
+            }
+        }
+    }
+
+    /// Whether task `dst` is queued waiting for a worker (racy snapshot;
+    /// used only as a fairness hint by [`maybe_yield_to`]).
+    ///
+    /// [`maybe_yield_to`]: ExecShared::maybe_yield_to
+    fn is_queued(&self, dst: usize) -> bool {
+        self.tasks[dst].state.load(Ordering::Relaxed) == RUNNABLE
+    }
+
+    /// Fairness yield: when the calling rank task just sent to a peer that
+    /// is runnable but waiting for a worker, give up this worker (to the
+    /// *back* of the global queue) so the peer gets a turn.  Without it, a
+    /// send-and-never-block loop starves its own destination on a small
+    /// pool — the fiber analogue of the OS preemption thread-per-rank gets
+    /// for free.  Purely a scheduling choice: virtual clocks, matrices and
+    /// traces are interleaving-independent.
+    pub(crate) fn maybe_yield_to(&self, dst: usize) {
+        if self.is_queued(dst) && fiber::is_fiber() {
+            fiber::suspend();
+        }
+    }
+
+    /// All-workers-idle stall check (runs quiescent: every notify source is
+    /// task code, and no task is running).  Shut down when nothing is live;
+    /// otherwise, if every live task is parked and every queue is empty,
+    /// resolve the stall by waking one task with a deadline signal.
+    fn stall_check(&self) {
+        let _guard = self.stall_lock.lock();
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let live = self.live.load(Ordering::SeqCst);
+        if live == 0 {
+            self.shutdown.store(true, Ordering::Release);
+            self.notifier.notify();
+            self.progress.notify();
+            return;
+        }
+        if self.parked.load(Ordering::SeqCst) != live || !self.injector.is_empty() {
+            return;
+        }
+        if self.stealers.lock().iter().any(|s| !s.is_empty()) {
+            return;
+        }
+        // Deterministic order: smallest requested deadline, then smallest
+        // world rank.  Waking exactly one task keeps the resolution
+        // sequential — if it unblocks the job, everyone else proceeds; if
+        // the job is truly deadlocked, each wake ends in the same
+        // "deadlock:" panic the wall clock would have produced.
+        let victim = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state.load(Ordering::SeqCst) == PARKED)
+            .min_by_key(|(i, t)| (t.deadline_ms.load(Ordering::SeqCst), *i))
+            .map(|(i, _)| i);
+        if let Some(i) = victim {
+            if self.tasks[i]
+                .state
+                .compare_exchange(PARKED, RUNNABLE, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.tasks[i].wake.store(WAKE_DEADLINE, Ordering::Release);
+                self.parked.fetch_sub(1, Ordering::SeqCst);
+                self.injector.push(i);
+                self.progress.notify();
+                self.notifier.notify();
+            }
+        }
+    }
+}
+
+/// Mailbox-side handle: parks the *calling fiber* until notified.
+pub(crate) struct ParkerHandle {
+    exec: Arc<ExecShared>,
+    index: usize,
+}
+
+impl std::fmt::Debug for ParkerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParkerHandle").field("index", &self.index).finish()
+    }
+}
+
+impl ParkerHandle {
+    /// Suspend the calling task until a message notification or a stall
+    /// resolution targets it.  `deadline` is not waited for — it is the
+    /// priority key the stall resolver orders deadline wakes by.
+    pub(crate) fn park(&self, deadline: Duration) -> ParkWake {
+        let slot = &self.exec.tasks[self.index];
+        let ms = u64::try_from(deadline.as_millis()).unwrap_or(u64::MAX);
+        slot.deadline_ms.store(ms, Ordering::SeqCst);
+        slot.park_pending.store(true, Ordering::Release);
+        fiber::suspend();
+        match slot.wake.swap(WAKE_NONE, Ordering::AcqRel) {
+            WAKE_DEADLINE => ParkWake::Deadline,
+            _ => ParkWake::Message,
+        }
+    }
+}
+
+/// Worker count for an `n`-task run: every core (`MIM_WORKERS` overrides),
+/// never more workers than tasks.
+fn worker_count(n: usize) -> usize {
+    let cpus = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let w = std::env::var("MIM_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(cpus);
+    w.clamp(1, n.max(1))
+}
+
+/// Per-worker run queue capacity; overflow spills to the shared injector.
+const LOCAL_QUEUE_CAP: usize = 256;
+
+/// Run `bodies` (one per rank, indexed by world rank) to completion as
+/// fibers on the worker pool.  Returns each task's panic payload slot, in
+/// task order — the same shape `thread::JoinHandle::join` gives the
+/// thread-per-rank engine.
+pub(crate) fn run_tasks(
+    exec: &Arc<ExecShared>,
+    bodies: Vec<Box<dyn FnOnce() + Send>>,
+    stack_size: usize,
+    deadline: Duration,
+) -> Vec<Option<Box<dyn std::any::Any + Send>>> {
+    let n = bodies.len();
+    assert_eq!(n, exec.tasks.len(), "one body per task slot");
+    let workers = worker_count(n);
+    let fibers: Vec<Mutex<Option<Fiber>>> =
+        bodies.into_iter().map(|b| Mutex::new(Some(Fiber::new(stack_size, b)))).collect();
+    let payloads: Vec<Mutex<Option<Box<dyn std::any::Any + Send>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let mut queues = Vec::with_capacity(workers);
+    {
+        let mut stealers = exec.stealers.lock();
+        stealers.clear();
+        for _ in 0..workers {
+            let (q, s) = deque(LOCAL_QUEUE_CAP);
+            queues.push(q);
+            stealers.push(s);
+        }
+    }
+    exec.workers.store(workers, Ordering::SeqCst);
+    exec.live.store(n, Ordering::SeqCst);
+    exec.parked.store(0, Ordering::SeqCst);
+    exec.idle.store(0, Ordering::SeqCst);
+    exec.shutdown.store(false, Ordering::SeqCst);
+    for i in 0..n {
+        exec.tasks[i].state.store(RUNNABLE, Ordering::SeqCst);
+        exec.injector.push(i);
+    }
+    std::thread::scope(|scope| {
+        for (wid, q) in queues.into_iter().enumerate() {
+            let exec = Arc::clone(exec);
+            let fibers = &fibers;
+            let payloads = &payloads;
+            std::thread::Builder::new()
+                .name(format!("mim-exec-{wid}"))
+                .spawn_scoped(scope, move || worker_loop(&exec, q, fibers, payloads))
+                .unwrap_or_else(|e| panic!("failed to spawn executor worker: {e}"));
+        }
+        let exec = Arc::clone(exec);
+        std::thread::Builder::new()
+            .name("mim-exec-watchdog".into())
+            .spawn_scoped(scope, move || watchdog_loop(&exec, deadline))
+            .unwrap_or_else(|e| panic!("failed to spawn executor watchdog: {e}"));
+    });
+    payloads.into_iter().map(Mutex::into_inner).collect()
+}
+
+/// Find the next runnable task: own queue (LIFO), then the injector, then
+/// steal from peers.
+fn next_task(exec: &ExecShared, local: &mut WorkerQueue) -> Option<usize> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    if let Some(t) = exec.injector.pop() {
+        return Some(t);
+    }
+    let stealers = exec.stealers.lock();
+    loop {
+        let mut retry = false;
+        for s in stealers.iter() {
+            match s.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+fn enqueue(exec: &ExecShared, local: &mut WorkerQueue, task: usize) {
+    if let Err(t) = local.push(task) {
+        exec.injector.push(t);
+    }
+    exec.notifier.notify();
+}
+
+fn worker_loop(
+    exec: &Arc<ExecShared>,
+    mut local: WorkerQueue,
+    fibers: &[Mutex<Option<Fiber>>],
+    payloads: &[Mutex<Option<Box<dyn std::any::Any + Send>>>],
+) {
+    loop {
+        // Snapshot the wake epoch *before* every check (shutdown flag and
+        // work queues): any store-then-notify landing after the snapshot
+        // advances the epoch, so the wait below returns immediately — and a
+        // snapshot taken after a notify is ordered after the store it
+        // published, so the re-check on the next loop iteration sees it.
+        let seen = exec.notifier.epoch();
+        if exec.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(task) = next_task(exec, &mut local) {
+            run_one(exec, task, &mut local, fibers, payloads);
+            continue;
+        }
+        let idlers = exec.idle.fetch_add(1, Ordering::SeqCst) + 1;
+        if idlers == exec.workers.load(Ordering::SeqCst) {
+            exec.stall_check();
+        }
+        exec.notifier.wait_while_epoch(seen);
+        exec.idle.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Resume one task and publish its new state (see the module-level
+/// protocol: the publish happens strictly after the fiber switched out).
+fn run_one(
+    exec: &ExecShared,
+    task: usize,
+    local: &mut WorkerQueue,
+    fibers: &[Mutex<Option<Fiber>>],
+    payloads: &[Mutex<Option<Box<dyn std::any::Any + Send>>>],
+) {
+    let slot = &exec.tasks[task];
+    slot.state.store(RUNNING, Ordering::SeqCst);
+    let fiber = fibers[task].lock().take();
+    let Some(mut fiber) = fiber else {
+        // A task id can only be queued once; a missing fiber means the
+        // protocol was violated.
+        panic!("executor: task {task} dispatched with no fiber");
+    };
+    CURRENT_TASK.with(|c| c.set(Some(TaskId { exec: exec.id, index: task })));
+    let resumed = fiber.resume();
+    CURRENT_TASK.with(|c| c.set(None));
+    match resumed {
+        Resume::Done => {
+            if let Some(p) = fiber.take_panic() {
+                *payloads[task].lock() = Some(p);
+            }
+            drop(fiber); // free the stack eagerly: 10k ranks, bounded RSS
+            slot.state.store(DONE, Ordering::SeqCst);
+            let left = exec.live.fetch_sub(1, Ordering::SeqCst) - 1;
+            exec.progress.notify();
+            if left == 0 {
+                exec.shutdown.store(true, Ordering::Release);
+                exec.notifier.notify();
+                // Notify progress *after* the shutdown store so the
+                // watchdog either sees the flag or sees the epoch advance —
+                // never sleeps out its full timeout on a finished run.
+                exec.progress.notify();
+            }
+        }
+        Resume::Suspended => {
+            // The fiber must be back in its slot before any publish: a
+            // concurrent notify may re-dispatch the task to another worker
+            // the instant the CAS lands.
+            *fibers[task].lock() = Some(fiber);
+            if slot.park_pending.swap(false, Ordering::AcqRel) {
+                // Count the park *before* publishing it, so the notifier's
+                // decrement (which can only follow a successful publish)
+                // never observes the counter early.
+                exec.parked.fetch_add(1, Ordering::SeqCst);
+                match slot.state.compare_exchange(
+                    RUNNING,
+                    PARKED,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => {
+                        exec.progress.notify();
+                    }
+                    Err(_) => {
+                        // A notify token landed while the task was still
+                        // Running: consume it and keep the task runnable.
+                        exec.parked.fetch_sub(1, Ordering::SeqCst);
+                        slot.wake.store(WAKE_MESSAGE, Ordering::Release);
+                        slot.state.store(RUNNABLE, Ordering::SeqCst);
+                        enqueue(exec, local, task);
+                        exec.progress.notify();
+                    }
+                }
+            } else {
+                // Bare cooperative yield: to the *back* of the global queue
+                // (a local LIFO re-enqueue would run the yielder again
+                // first, defeating the fairness yield's whole point).
+                slot.state.store(RUNNABLE, Ordering::SeqCst);
+                exec.injector.push(task);
+                exec.notifier.notify();
+            }
+        }
+    }
+}
+
+/// Starvation watchdog: if the scheduler makes no progress for a full
+/// `deadline` while some task is running and others wait (parked or
+/// queued), a fiber is hogging its worker without yielding.  Cooperative
+/// scheduling cannot preempt or unwind it, so report and abort — the
+/// analogue of the deadline panic the waiting ranks would have raised under
+/// thread-per-rank.
+fn watchdog_loop(exec: &Arc<ExecShared>, deadline: Duration) {
+    loop {
+        let seen = exec.progress.epoch();
+        let seen_activity = exec.activity.load(Ordering::Relaxed);
+        if exec.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let advanced = exec.progress.wait_timeout_epoch(seen, deadline);
+        if exec.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if advanced || exec.activity.load(Ordering::Relaxed) != seen_activity {
+            continue;
+        }
+        let running: Vec<usize> = exec
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state.load(Ordering::SeqCst) == RUNNING)
+            .map(|(i, _)| i)
+            .collect();
+        let waiting = exec.parked.load(Ordering::SeqCst) > 0 || !exec.injector.is_empty();
+        if !running.is_empty() && waiting {
+            eprintln!(
+                "mim-mpisim: starvation: rank task(s) {running:?} ran for {deadline:?} \
+                 without yielding while other ranks wait; a fiber cannot be preempted \
+                 — aborting (exit 107)"
+            );
+            std::process::exit(107);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn executor_kind_from_env() {
+        std::env::remove_var("MIM_EXECUTOR");
+        assert_eq!(ExecutorKind::from_env(), ExecutorKind::Threads);
+        std::env::set_var("MIM_EXECUTOR", "tasks");
+        assert_eq!(ExecutorKind::from_env(), ExecutorKind::Tasks);
+        std::env::set_var("MIM_EXECUTOR", "threads");
+        assert_eq!(ExecutorKind::from_env(), ExecutorKind::Threads);
+        std::env::remove_var("MIM_EXECUTOR");
+    }
+
+    /// The raw engine, no mailboxes: tasks park themselves and are woken by
+    /// explicit notifies from other tasks — a pure protocol exercise.
+    #[test]
+    fn park_notify_chain_runs_to_completion() {
+        const N: usize = 8;
+        let exec = ExecShared::new(N);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        for i in 0..N {
+            let exec = Arc::clone(&exec);
+            let order = Arc::clone(&order);
+            bodies.push(Box::new(move || {
+                // Every task > 0 parks until its predecessor wakes it.  The
+                // predecessor's notify may land before the park (token) or
+                // after (unpark): both must work.
+                if i > 0 {
+                    let parker = exec.parker(i);
+                    while !order.lock().contains(&(i - 1)) {
+                        let _ = parker.park(Duration::from_secs(600));
+                    }
+                }
+                order.lock().push(i);
+                if i + 1 < N {
+                    exec.notify(i + 1);
+                }
+            }));
+        }
+        let payloads = run_tasks(&exec, bodies, fiber::MIN_STACK, Duration::from_secs(30));
+        assert!(payloads.iter().all(|p| p.is_none()));
+        assert_eq!(*order.lock(), (0..N).collect::<Vec<_>>());
+    }
+
+    /// All tasks park forever: the stall resolver must wake them in
+    /// (deadline, rank) order, each observing `ParkWake::Deadline`.
+    #[test]
+    fn stall_resolution_wakes_in_deadline_order() {
+        const N: usize = 4;
+        let exec = ExecShared::new(N);
+        let wake_order = Arc::new(Mutex::new(Vec::new()));
+        let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        for i in 0..N {
+            let exec = Arc::clone(&exec);
+            let wake_order = Arc::clone(&wake_order);
+            bodies.push(Box::new(move || {
+                // Distinct deadlines, reverse of rank order.
+                let parker = exec.parker(i);
+                let deadline = Duration::from_millis(((N - i) * 1000) as u64);
+                loop {
+                    if parker.park(deadline) == ParkWake::Deadline {
+                        wake_order.lock().push(i);
+                        return;
+                    }
+                }
+            }));
+        }
+        let payloads = run_tasks(&exec, bodies, fiber::MIN_STACK, Duration::from_secs(30));
+        assert!(payloads.iter().all(|p| p.is_none()));
+        // Smallest deadline first: rank N-1 parked with 1000 ms, and so on.
+        assert_eq!(*wake_order.lock(), vec![3, 2, 1, 0]);
+    }
+
+    /// A panicking task surfaces its payload in its own slot; others run on.
+    #[test]
+    fn panic_is_confined_to_its_task_slot() {
+        let exec = ExecShared::new(3);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        for i in 0..3 {
+            let ran = Arc::clone(&ran);
+            bodies.push(Box::new(move || {
+                if i == 1 {
+                    panic!("task 1 exploded");
+                }
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let payloads = run_tasks(&exec, bodies, fiber::MIN_STACK, Duration::from_secs(30));
+        assert!(payloads[0].is_none());
+        assert!(payloads[1].is_some());
+        assert!(payloads[2].is_none());
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+    }
+
+    /// More tasks than any realistic thread count, all parking once: the
+    /// pool multiplexes them on a handful of workers.
+    #[test]
+    fn thousand_tasks_on_default_pool() {
+        const N: usize = 1000;
+        let exec = ExecShared::new(N);
+        let sum = Arc::new(AtomicUsize::new(0));
+        let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        for i in 0..N {
+            let exec = Arc::clone(&exec);
+            let sum = Arc::clone(&sum);
+            bodies.push(Box::new(move || {
+                // Ring notify: wake the next task, then park until woken
+                // (token or unpark), then finish.
+                exec.notify((i + 1) % N);
+                sum.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let payloads = run_tasks(&exec, bodies, fiber::MIN_STACK, Duration::from_secs(60));
+        assert!(payloads.iter().all(|p| p.is_none()));
+        assert_eq!(sum.load(Ordering::SeqCst), N);
+    }
+}

@@ -16,6 +16,15 @@
 //! `Rank::recv_or_failure` reports when the peer died), plus the internal
 //! fault-protocol constants (death notices and liveness pings travel on a
 //! reserved communicator id and context so they can never match user traffic).
+//!
+//! Executor independence: every injector verdict is a pure function of
+//! virtual identifiers (`seed, src, dst, op_index, attempt`), and both the
+//! retransmission backoff and the crash points are charged to the virtual
+//! clock — so a fixed-seed plan replays bit-identically whether ranks are
+//! OS threads or M:N tasks (`executor_tasks_mode` test in `mim-chaos`).
+//! The only seam the M:N engine adds is on the *receiving* side: a death
+//! notice posted to a parked rank must wake its task, which is why all
+//! fault-protocol traffic goes through `Shared::post` like user traffic.
 
 use std::any::Any;
 use std::fmt;

@@ -31,6 +31,7 @@ pub mod collectives;
 pub mod comm;
 pub mod datatype;
 pub mod envelope;
+pub mod exec;
 pub mod fault;
 pub mod mailbox;
 pub mod nic;
@@ -43,6 +44,7 @@ pub mod schedule;
 pub use comm::Comm;
 pub use datatype::Scalar;
 pub use envelope::{MsgKind, Payload};
+pub use exec::ExecutorKind;
 pub use fault::{CrashPoint, FaultInjector, LinkCtx, PeerFailure, RankFailure, SendOutcome};
 pub use mailbox::{RecvWaitError, UnexpectedQueue};
 pub use nic::{NicCounters, NicEvent};

@@ -15,9 +15,10 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use mim_trace::TraceHandle;
-use mim_util::channel::{Receiver, RecvTimeoutError};
+use mim_util::channel::{Receiver, RecvTimeoutError, TryRecvError};
 
 use crate::envelope::{Ctx, Envelope};
+use crate::exec::{ParkWake, ParkerHandle};
 
 /// How many ring events per track a mailbox panic appends to its message.
 const FLIGHT_EVENTS: usize = 20;
@@ -258,6 +259,10 @@ pub struct Mailbox {
     last_wire_seq: HashMap<usize, u64>,
     /// Envelopes dropped as duplicate deliveries.
     dup_dropped: u64,
+    /// Under the M:N executor, blocking waits park the rank's *task* here
+    /// instead of its worker thread; `None` (thread-per-rank) keeps the
+    /// wall-clock `recv_timeout` path.
+    parker: Option<ParkerHandle>,
 }
 
 impl Mailbox {
@@ -271,7 +276,14 @@ impl Mailbox {
             trace: None,
             last_wire_seq: HashMap::new(),
             dup_dropped: 0,
+            parker: None,
         }
+    }
+
+    /// Route blocking waits through the M:N executor: park the rank's task
+    /// (freeing its worker thread) instead of sleeping in `recv_timeout`.
+    pub(crate) fn set_parker(&mut self, parker: ParkerHandle) {
+        self.parker = Some(parker);
     }
 
     /// Attach the owning rank's trace track (flight-recorder dumps on
@@ -315,6 +327,34 @@ impl Mailbox {
         }
     }
 
+    /// The single blocking point of the mailbox: wait for the next envelope
+    /// or give up.  Thread-per-rank sleeps in the channel's wall-clock
+    /// `recv_timeout`; under the M:N executor the rank's *task* parks and a
+    /// `Timeout` is produced deterministically by the scheduler's stall
+    /// resolver (all live tasks parked, every queue empty) rather than by
+    /// elapsed time — same observable outcome, no blocked worker thread.
+    fn wait_message(&mut self, deadline: Duration) -> Result<Envelope, RecvWaitError> {
+        let Some(parker) = &self.parker else {
+            return match self.rx.recv_timeout(deadline) {
+                Ok(env) => Ok(env),
+                Err(RecvTimeoutError::Timeout) => Err(RecvWaitError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => Err(RecvWaitError::Disconnected),
+            };
+        };
+        loop {
+            match self.rx.try_recv() {
+                Ok(env) => return Ok(env),
+                Err(TryRecvError::Disconnected) => return Err(RecvWaitError::Disconnected),
+                Err(TryRecvError::Empty) => match parker.park(deadline) {
+                    // A wake may be a leftover token from a message already
+                    // consumed; the re-poll above sorts it out.
+                    ParkWake::Message => continue,
+                    ParkWake::Deadline => return Err(RecvWaitError::Timeout),
+                },
+            }
+        }
+    }
+
     /// Fallible blocking receive of the earliest message matching `pat`:
     /// returns an error instead of panicking on deadline or disconnect.
     /// `deadline` overrides the mailbox's configured deadline.
@@ -327,17 +367,12 @@ impl Mailbox {
             return Ok(env);
         }
         loop {
-            match self.rx.recv_timeout(deadline) {
-                Ok(env) => {
-                    let Some(env) = self.admit(env) else { continue };
-                    if pat.matches(&env) {
-                        return Ok(env);
-                    }
-                    self.queue_unexpected(env);
-                }
-                Err(RecvTimeoutError::Timeout) => return Err(RecvWaitError::Timeout),
-                Err(RecvTimeoutError::Disconnected) => return Err(RecvWaitError::Disconnected),
+            let env = self.wait_message(deadline)?;
+            let Some(env) = self.admit(env) else { continue };
+            if pat.matches(&env) {
+                return Ok(env);
             }
+            self.queue_unexpected(env);
         }
     }
 
@@ -360,14 +395,9 @@ impl Mailbox {
             if let Some(env) = self.unexpected.take(b) {
                 return Ok((env, false));
             }
-            match self.rx.recv_timeout(deadline) {
-                Ok(env) => {
-                    if let Some(env) = self.admit(env) {
-                        self.queue_unexpected(env);
-                    }
-                }
-                Err(RecvTimeoutError::Timeout) => return Err(RecvWaitError::Timeout),
-                Err(RecvTimeoutError::Disconnected) => return Err(RecvWaitError::Disconnected),
+            let env = self.wait_message(deadline)?;
+            if let Some(env) = self.admit(env) {
+                self.queue_unexpected(env);
             }
         }
     }

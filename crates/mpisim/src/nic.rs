@@ -9,6 +9,12 @@
 //!
 //! `port_xmit_data` is exposed in 4-byte units ("the number read in this file
 //! has to be multiplied by the number of planes of the card (in general 4)").
+//!
+//! Executor independence: counters are charged at wire-send time, keyed on
+//! node indices derived from the placement, and timestamped with the
+//! *virtual* clock — nothing here knows whether the sending rank is an OS
+//! thread or a parked/resumed task, which is why `executor_equivalence`
+//! can require bit-identical NIC totals across both engines.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -18,6 +18,7 @@ use crate::collectives;
 use crate::comm::Comm;
 use crate::datatype::Scalar;
 use crate::envelope::{Ctx, Envelope, MsgKind, Payload};
+use crate::exec::{self, ExecShared, ExecutorKind};
 use crate::fault::{
     self, CrashPoint, FaultInjector, LinkCtx, PeerFailure, RankFailure, SendOutcome,
 };
@@ -66,6 +67,17 @@ pub struct UniverseConfig {
     pub deadline: Duration,
     /// Stack size of rank threads.
     pub stack_size: usize,
+    /// Which engine hosts rank code: one OS thread per rank
+    /// ([`ExecutorKind::Threads`], the default and the equivalence oracle)
+    /// or M:N rank tasks on a fixed work-stealing pool
+    /// ([`ExecutorKind::Tasks`], the 10k-rank engine).  Defaults from
+    /// `MIM_EXECUTOR`; both modes produce bit-identical virtual-time
+    /// results (see `tests/executor_equivalence.rs`).
+    pub executor: ExecutorKind,
+    /// Stack size of rank *task* fibers (Tasks mode only).  Much smaller
+    /// than `stack_size`: 10k ranks × this many bytes must fit comfortably
+    /// in memory, and simulated rank bodies are shallow.
+    pub task_stack_size: usize,
     /// Tracing subsystem: each rank records its wire events on a per-rank
     /// track (flight recorder + optional `MIM_TRACE` file sink).  `None`
     /// disables tracing entirely — every record site is a single
@@ -103,9 +115,17 @@ impl UniverseConfig {
             nic_header_bytes: 0,
             deadline,
             stack_size: 4 << 20,
+            executor: ExecutorKind::from_env(),
+            task_stack_size: 256 << 10,
             tracer: Tracer::global(),
             injector: None,
         }
+    }
+
+    /// Select the rank execution engine (builder style).
+    pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
     }
 
     /// Install a deterministic fault injector (builder style).
@@ -138,6 +158,10 @@ pub(crate) struct Shared {
     /// Set by `launch_faulty`: sends to a gone mailbox drop silently
     /// instead of unwinding the sender (`RankAborted`).
     pub(crate) faulty: AtomicBool,
+    /// M:N scheduler state, present iff the universe runs in
+    /// [`ExecutorKind::Tasks`] mode.  Senders notify it after every
+    /// delivery so a parked destination task gets rescheduled.
+    pub(crate) exec: Option<Arc<ExecShared>>,
 }
 
 impl Shared {
@@ -148,6 +172,24 @@ impl Shared {
 
     pub(crate) fn core_of(&self, world: usize) -> usize {
         self.cfg.placement.core_of(world)
+    }
+
+    /// Deliver an envelope to `dst`'s mailbox channel and, under the M:N
+    /// executor, wake `dst`'s task if it is parked.  Every wire-layer send
+    /// must go through here — a bare `senders[dst].send` would leave a
+    /// parked destination asleep until the stall resolver falsely times it
+    /// out.  Returns whether the channel accepted the envelope.
+    pub(crate) fn post(&self, dst: usize, env: Envelope) -> bool {
+        let delivered = self.senders[dst].send(env).is_ok();
+        if delivered {
+            if let Some(exec) = &self.exec {
+                exec.notify(dst);
+                // Fairness: if the destination is runnable but starved of a
+                // worker, hand it ours (no-op off the executor).
+                exec.maybe_yield_to(dst);
+            }
+        }
+        delivered
     }
 }
 
@@ -187,6 +229,17 @@ impl Universe {
         let core_to_node =
             (0..cfg.machine.num_cores()).map(|c| cfg.machine.node_of_core(c)).collect();
         let nic = Arc::new(NicCounters::new(core_to_node, cfg.nic_header_bytes));
+        let exec = match cfg.executor {
+            ExecutorKind::Tasks if mim_util::fiber::SUPPORTED => Some(ExecShared::new(n)),
+            ExecutorKind::Tasks => {
+                eprintln!(
+                    "mim-mpisim: MIM_EXECUTOR=tasks needs stackful fibers \
+                     (x86_64 unix only); falling back to thread-per-rank"
+                );
+                None
+            }
+            ExecutorKind::Threads => None,
+        };
         let shared = Arc::new(Shared {
             senders,
             global_hooks: RwLock::new(vec![nic.clone() as Arc<dyn PmlHook>]),
@@ -195,6 +248,7 @@ impl Universe {
             nic,
             alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
             faulty: AtomicBool::new(false),
+            exec,
             cfg,
         });
         Self { shared, receivers: Mutex::new(Some(receivers)) }
@@ -221,10 +275,11 @@ impl Universe {
         &self.shared.cfg
     }
 
-    /// Spawn one thread per rank and pair each rank's result with its own
-    /// panic payload (by rank index) — the shared engine under both
-    /// [`Universe::launch`] (strict) and [`Universe::launch_faulty`]
-    /// (recoverable).
+    /// Run every rank body to completion — one OS thread per rank, or M:N
+    /// rank tasks on a worker pool, per `cfg.executor` — and pair each
+    /// rank's result with its own panic payload (by rank index).  The
+    /// shared engine under both [`Universe::launch`] (strict) and
+    /// [`Universe::launch_faulty`] (recoverable).
     fn run_collect<F, R>(&self, f: F) -> Vec<Result<R, Box<dyn std::any::Any + Send>>>
     where
         F: Fn(&Rank) -> R + Sync,
@@ -233,6 +288,38 @@ impl Universe {
         let receivers = self.receivers.lock().take().expect("a universe can only be launched once");
         let n = receivers.len();
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let payloads = match &self.shared.exec {
+            Some(exec) => {
+                let exec = Arc::clone(exec);
+                self.run_ranks_as_tasks(&exec, &f, receivers, &mut results)
+            }
+            None => self.run_ranks_as_threads(&f, receivers, &mut results),
+        };
+        if let Some(t) = &self.shared.cfg.tracer {
+            t.flush();
+        }
+        results
+            .into_iter()
+            .zip(payloads)
+            .map(|(r, p)| match p {
+                Some(payload) => Err(payload),
+                None => Ok(r.expect("rank produced no result")),
+            })
+            .collect()
+    }
+
+    /// Thread-per-rank engine: spawn `n` scoped OS threads and join them.
+    fn run_ranks_as_threads<F, R>(
+        &self,
+        f: &F,
+        receivers: Vec<Receiver<Envelope>>,
+        results: &mut [Option<R>],
+    ) -> Vec<Option<Box<dyn std::any::Any + Send>>>
+    where
+        F: Fn(&Rank) -> R + Sync,
+        R: Send,
+    {
+        let n = receivers.len();
         let mut payloads: Vec<Option<Box<dyn std::any::Any + Send>>> =
             (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -241,7 +328,6 @@ impl Universe {
                 receivers.into_iter().zip(results.iter_mut()).enumerate()
             {
                 let shared = Arc::clone(&self.shared);
-                let f = &f;
                 let handle = std::thread::Builder::new()
                     .name(format!("rank-{world_rank}"))
                     .stack_size(self.shared.cfg.stack_size)
@@ -258,17 +344,39 @@ impl Universe {
                 }
             }
         });
-        if let Some(t) = &self.shared.cfg.tracer {
-            t.flush();
+        payloads
+    }
+
+    /// M:N engine: wrap each rank body in a fiber task and run the lot on a
+    /// fixed work-stealing worker pool (`crate::exec`).  Blocking receives
+    /// park the rank's *task* (the mailbox holds its `ParkerHandle`), so a
+    /// handful of workers can carry a 10k-rank universe.
+    fn run_ranks_as_tasks<F, R>(
+        &self,
+        exec: &Arc<ExecShared>,
+        f: &F,
+        receivers: Vec<Receiver<Envelope>>,
+        results: &mut [Option<R>],
+    ) -> Vec<Option<Box<dyn std::any::Any + Send>>>
+    where
+        F: Fn(&Rank) -> R + Sync,
+        R: Send,
+    {
+        let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(receivers.len());
+        for (world_rank, (rx, slot)) in receivers.into_iter().zip(results.iter_mut()).enumerate() {
+            let shared = Arc::clone(&self.shared);
+            let body: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let rank = Rank::new(world_rank, shared, rx);
+                *slot = Some(f(&rank));
+            });
+            // SAFETY: lifetime erasure only.  `exec::run_tasks` joins its
+            // worker pool (a `thread::scope`) before returning, and every
+            // fiber — run or not — is dropped inside it, so no body (and no
+            // borrow of `f` or `results` it captures) outlives this call.
+            let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+            bodies.push(body);
         }
-        results
-            .into_iter()
-            .zip(payloads)
-            .map(|(r, p)| match p {
-                Some(payload) => Err(payload),
-                None => Ok(r.expect("rank produced no result")),
-            })
-            .collect()
+        exec::run_tasks(exec, bodies, self.shared.cfg.task_stack_size, self.shared.cfg.deadline)
     }
 
     /// Run `f` once per rank, each on its own thread, and collect the
@@ -406,6 +514,11 @@ impl Rank {
         let mut mailbox = Mailbox::new(rx, deadline);
         if let Some(t) = &trace {
             mailbox.set_trace(t.clone());
+        }
+        if let Some(exec) = &shared.exec {
+            // Task index == world rank: blocking receives park this rank's
+            // task instead of its worker thread.
+            mailbox.set_parker(exec.parker(world_rank));
         }
         let injector = shared.cfg.injector.clone();
         Self {
@@ -557,7 +670,7 @@ impl Rank {
                 arrival_ns: now,
                 wire_seq: None,
             };
-            let _ = self.shared.senders[dst].send(env);
+            let _ = self.shared.post(dst, env);
         }
         std::panic::resume_unwind(Box::new(fault::RankCrashed {
             world: self.world_rank,
@@ -586,7 +699,7 @@ impl Rank {
             arrival_ns: now + alpha,
             wire_seq: None,
         };
-        let _ = self.shared.senders[dst_world].send(env);
+        let _ = self.shared.post(dst_world, env);
     }
 
     /// Receive one fault-protocol message from a specific peer: its
@@ -734,7 +847,7 @@ impl Rank {
                 e
             })
             .collect();
-        if self.shared.senders[dst_world].send(env).is_err() {
+        if !self.shared.post(dst_world, env) {
             // The destination thread already exited — almost always because
             // it (or a third rank) panicked and the job is collapsing.
             // Don't panic here: that would route through the panic hook and
@@ -759,7 +872,7 @@ impl Rank {
             }));
         }
         for e in dups {
-            let _ = self.shared.senders[dst_world].send(e);
+            let _ = self.shared.post(dst_world, e);
         }
     }
 

@@ -1,0 +1,313 @@
+//! Threads-vs-Tasks equivalence: the M:N rank executor must be *invisible*
+//! in every simulated observable.  Virtual clocks are per-rank and advance
+//! only through the cost model, so completion times, NIC counters and
+//! per-rank trace streams are bit-identical across execution engines — on
+//! any seed, any topology, any worker count.
+//!
+//! The one normalization: `Recv.uq_depth` (and nothing else) measures
+//! *wall-clock arrival order* into the unexpected queue, which is genuinely
+//! scheduling-dependent; it is zeroed on both sides before comparing.
+
+use std::sync::Arc;
+
+use mim_mpisim::trace::{TraceData, TraceEvent, Tracer};
+use mim_mpisim::{ExecutorKind, Rank, SrcSel, TagSel, Universe, UniverseConfig};
+use mim_topology::{Machine, Placement};
+use mim_util::props;
+use mim_util::rng::Rng;
+
+/// Everything a universe run can show the outside world, bit-exact.
+/// Completion times are compared as raw `f64` bits: "close" is not
+/// equivalent.
+#[derive(Debug, PartialEq)]
+struct Observables {
+    completion_bits: Vec<u64>,
+    results: Vec<Vec<i64>>,
+    nic: Vec<(u64, u64, u64)>,
+    traces: Vec<(String, Vec<TraceEvent>)>,
+}
+
+/// A deterministic mixed workload (p2p ring + collectives + communicator
+/// surgery), parameterized by `seed`.  No wildcard receives: wildcard
+/// *matching* takes whatever arrived first in wall time, so a workload
+/// whose data flow depends on it would not be comparable across engines
+/// (that path gets its own test below).
+fn workload(rank: &Rank, seed: u64) -> Vec<i64> {
+    let world = rank.comm_world();
+    let n = world.size();
+    let me = world.rank();
+    let mut rng = Rng::seed_from_u64(seed);
+    let bytes = rng.gen_range(64u64..8192);
+    let root = rng.gen_range(0usize..n);
+    let rounds = rng.gen_range(1usize..4);
+    let mut acc: Vec<i64> = Vec::new();
+
+    for round in 0..rounds {
+        // Ring exchange with specific sources (sends never block: channels
+        // are unbounded; only receives park).
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        rank.send(&world, right, round as u32, &[(me * 10 + round) as i64]);
+        let (v, st) = rank.recv::<i64>(&world, SrcSel::Rank(left), TagSel::Is(round as u32));
+        acc.extend(&v);
+        acc.push(st.bytes as i64);
+
+        // Synthetic bulk traffic exercises the cost model without buffers.
+        rank.send_synthetic(&world, right, 100 + round as u32, bytes);
+        rank.recv_synthetic(&world, SrcSel::Rank(left), TagSel::Is(100 + round as u32));
+    }
+
+    // Collectives: every flavor of tree/ring decomposition in the stack.
+    let sum = rank.allreduce(&world, &[me as i64 + 1], |a, b| a + b);
+    acc.extend(&sum);
+    let mut b = if me == root { vec![seed as i64] } else { Vec::new() };
+    rank.bcast(&world, root, &mut b);
+    acc.extend(&b);
+    let all = rank.allgather(&world, &[(me as i64) * 3]);
+    acc.extend(&all);
+    rank.barrier(&world);
+
+    // Communicator surgery: split into parity halves, reduce within.
+    let half = rank.comm_split(&world, (me % 2) as i64, me as i64);
+    let r = rank.allreduce(&half, &[me as i64], |a, b| a.max(b));
+    acc.extend(&r);
+    acc
+}
+
+/// Run the workload under one engine and collect every observable.
+fn run(kind: ExecutorKind, machine: &Machine, n: usize, seed: u64) -> Observables {
+    let tracer = Tracer::new(1 << 14);
+    let mut cfg = UniverseConfig::new(machine.clone(), Placement::packed(n));
+    cfg.executor = kind;
+    cfg.tracer = Some(Arc::clone(&tracer));
+    let u = Universe::new(cfg);
+    let mut results = Vec::new();
+    let mut completion_bits = Vec::new();
+    for (r, t) in u.launch(|rank| (workload(rank, seed), rank.now_ns().to_bits())) {
+        results.push(r);
+        completion_bits.push(t);
+    }
+    let nic = (0..u.nic().num_nodes())
+        .map(|nd| (u.nic().xmit_bytes(nd), u.nic().xmit_msgs(nd), u.nic().retries(nd)))
+        .collect();
+    let mut traces = tracer.snapshot();
+    traces.sort_by(|a, b| a.0.cmp(&b.0));
+    for (_, evs) in &mut traces {
+        for e in evs.iter_mut() {
+            if let TraceData::Recv { uq_depth, .. } = &mut e.data {
+                *uq_depth = 0;
+            }
+        }
+    }
+    Observables { completion_bits, results, nic, traces }
+}
+
+fn assert_equivalent(machine: &Machine, n: usize, seed: u64) {
+    let threads = run(ExecutorKind::Threads, machine, n, seed);
+    let tasks = run(ExecutorKind::Tasks, machine, n, seed);
+    assert_eq!(
+        threads, tasks,
+        "Threads and Tasks engines diverged (machine={machine:?}, n={n}, seed={seed})"
+    );
+}
+
+/// The tentpole acceptance matrix: three topologies × three seeds, all
+/// bit-identical.  Three distinct machine shapes: flat single-node,
+/// multi-node cluster, and the paper's plafrim machine.
+#[test]
+fn engines_agree_across_three_topologies_and_three_seeds() {
+    let topologies = [
+        ("flat", Machine::cluster(1, 1, 16), 12),
+        ("cluster", Machine::cluster(4, 2, 4), 16),
+        ("plafrim", Machine::plafrim(3), 9),
+    ];
+    for (name, machine, n) in &topologies {
+        for seed in [1u64, 42, 0xDEAD_BEEF] {
+            eprintln!("equivalence: topology={name} n={n} seed={seed}");
+            assert_equivalent(machine, *n, seed);
+        }
+    }
+}
+
+/// Tasks mode must honor `MIM_WORKERS`: results are identical from a
+/// single-worker pool up to an oversubscribed one.
+#[test]
+fn tasks_results_do_not_depend_on_worker_count() {
+    let machine = Machine::cluster(2, 1, 8);
+    let baseline = run(ExecutorKind::Threads, &machine, 8, 7);
+    for workers in ["1", "2", "13"] {
+        std::env::set_var("MIM_WORKERS", workers);
+        let tasks = run(ExecutorKind::Tasks, &machine, 8, 7);
+        std::env::remove_var("MIM_WORKERS");
+        assert_eq!(baseline, tasks, "diverged at MIM_WORKERS={workers}");
+    }
+}
+
+props! {
+    /// Randomized equivalence: any machine shape, any rank count, any seed.
+    fn engines_agree_on_random_universes(g, cases = 6) {
+        let nodes = g.gen_range(1usize..4);
+        let sockets = g.gen_range(1usize..3);
+        let cores = g.gen_range(2usize..5);
+        let machine = Machine::cluster(nodes, sockets, cores);
+        let max = nodes * sockets * cores;
+        let n = g.gen_range(2usize..=max.min(12));
+        let seed = g.any_u64();
+        assert_equivalent(&machine, n, seed);
+    }
+}
+
+/// A *wildcard* receive parked across a peer's crash notice: the death
+/// notice (fault context) must wake the parked task, get filed in the
+/// unexpected queue without matching the user-context wildcard, and the
+/// task must park again until the real message lands.
+#[test]
+fn wildcard_recv_parked_across_a_crash_notice() {
+    #[derive(Debug)]
+    struct CrashRank2;
+    impl mim_mpisim::FaultInjector for CrashRank2 {
+        fn on_attempt(
+            &self,
+            _link: &mim_mpisim::LinkCtx,
+            _attempt: u32,
+        ) -> mim_mpisim::SendOutcome {
+            mim_mpisim::SendOutcome::Deliver { extra_delay_ns: 0.0, duplicates: 0 }
+        }
+        fn crash_point(&self, world: usize) -> Option<mim_mpisim::CrashPoint> {
+            (world == 2).then_some(mim_mpisim::CrashPoint::OpCount(0))
+        }
+    }
+    let mut cfg = UniverseConfig::new(Machine::cluster(1, 1, 4), Placement::packed(3));
+    cfg.executor = ExecutorKind::Tasks;
+    cfg.injector = Some(Arc::new(CrashRank2));
+    let u = Universe::new(cfg);
+    let results = u.launch_faulty(|rank| {
+        let world = rank.comm_world();
+        match rank.world_rank() {
+            0 => {
+                // Parks on a wildcard; rank 2's death notice arrives first
+                // (it crashes on its very first op, rank 1 sends later).
+                let (v, st) = rank.recv::<i64>(&world, SrcSel::Any, TagSel::Is(9));
+                assert_eq!(st.src, 1);
+                v[0]
+            }
+            1 => {
+                // A virtual-time delay plus a real wall delay so the death
+                // notice has every chance to land while rank 0 is parked.
+                rank.sleep_ns(1_000_000.0);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                rank.send(&world, 0, 9, &[77i64]);
+                0
+            }
+            _ => {
+                // Crashes before this send happens.
+                rank.send(&world, 0, 9, &[-1i64]);
+                -1
+            }
+        }
+    });
+    assert_eq!(results[0].as_ref().ok(), Some(&77));
+    assert_eq!(results[1].as_ref().ok(), Some(&0));
+    assert!(matches!(results[2], Err(mim_mpisim::RankFailure::Crashed { .. })));
+}
+
+/// `comm_shrink` while the surviving peers are parked: the liveness
+/// exchange and the shrunk-communicator collective both run entirely on
+/// parked-task wakeups (no thread ever blocks).
+#[test]
+fn comm_shrink_while_peers_are_parked() {
+    #[derive(Debug)]
+    struct CrashRank1;
+    impl mim_mpisim::FaultInjector for CrashRank1 {
+        fn on_attempt(
+            &self,
+            _link: &mim_mpisim::LinkCtx,
+            _attempt: u32,
+        ) -> mim_mpisim::SendOutcome {
+            mim_mpisim::SendOutcome::Deliver { extra_delay_ns: 0.0, duplicates: 0 }
+        }
+        fn crash_point(&self, world: usize) -> Option<mim_mpisim::CrashPoint> {
+            // Op 0 is the ring send, op 1 the ring recv; the third wire op
+            // (an extra send) trips this and never delivers.
+            (world == 1).then_some(mim_mpisim::CrashPoint::OpCount(2))
+        }
+    }
+    let mut cfg = UniverseConfig::new(Machine::cluster(2, 1, 3), Placement::packed(5));
+    cfg.executor = ExecutorKind::Tasks;
+    cfg.injector = Some(Arc::new(CrashRank1));
+    let u = Universe::new(cfg);
+    let results = u.launch_faulty(|rank| {
+        let world = rank.comm_world();
+        let me = world.rank();
+        // Everyone trades a ring message (ops 1 and 2 for every rank), then
+        // rank 1 dies attempting a third wire op — before the detector
+        // phase, with its ring traffic already delivered.
+        let right = (me + 1) % world.size();
+        let left = (me + world.size() - 1) % world.size();
+        rank.send_synthetic(&world, right, 0, 256);
+        rank.recv_synthetic(&world, SrcSel::Rank(left), TagSel::Is(0));
+        if me == 1 {
+            rank.send_synthetic(&world, 0, 5, 1); // pre-op fires the crash
+        }
+        // Survivors agree on the dead set while parked in the detector's
+        // ping/death-notice waits, then rebuild and reduce.
+        let alive = rank.liveness_exchange(&world);
+        assert_eq!(alive, vec![true, false, true, true, true]);
+        let shrunk = rank.comm_shrink(&world, &alive);
+        let total = rank.allreduce(&shrunk, &[me as i64], |a, b| a + b);
+        total[0]
+    });
+    // World ranks 0,2,3,4 survive; sum of their world ranks (== comm ranks
+    // in world) is 0+2+3+4.
+    for (w, r) in results.iter().enumerate() {
+        if w == 1 {
+            assert!(matches!(r, Err(mim_mpisim::RankFailure::Crashed { .. })));
+        } else {
+            assert_eq!(r.as_ref().ok(), Some(&9));
+        }
+    }
+}
+
+/// The starvation watchdog: a rank that burns its worker without a single
+/// scheduler interaction, while a peer waits parked, must abort the whole
+/// process with exit code 107 and a "starvation" diagnostic (a fiber cannot
+/// be preempted or unwound from outside).  Runs in a subprocess because the
+/// abort takes the process down.
+#[test]
+fn starvation_watchdog_aborts_a_never_yielding_rank() {
+    if std::env::var("MIM_STARVE_CHILD").is_ok() {
+        let mut cfg = UniverseConfig::new(Machine::cluster(1, 1, 2), Placement::packed(2));
+        cfg.executor = ExecutorKind::Tasks;
+        cfg.deadline = std::time::Duration::from_millis(400);
+        let u = Universe::new(cfg);
+        u.launch(|rank| {
+            if rank.world_rank() == 0 {
+                // Never yields, never sends: pure worker-burning spin.
+                // Bounded so a watchdog bug fails the parent assert instead
+                // of hanging the suite.
+                for _ in 0..600 {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+            } else {
+                // Parks forever behind the spinner.
+                let _ = rank.recv::<i64>(&rank.comm_world(), SrcSel::Rank(0), TagSel::Any);
+            }
+        });
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args(["--exact", "starvation_watchdog_aborts_a_never_yielding_rank", "--nocapture"])
+        .env("MIM_STARVE_CHILD", "1")
+        .env("MIM_WORKERS", "1")
+        .env_remove("MIM_EXECUTOR")
+        .output()
+        .expect("spawn child test process");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(107),
+        "child should abort with the starvation exit code; stderr:\n{stderr}"
+    );
+    assert!(stderr.contains("starvation"), "diagnostic missing from stderr:\n{stderr}");
+}

@@ -23,6 +23,14 @@
 //! branch-on-`Option` at each record site — no ring, no lock, no
 //! formatting — verified by the `trace_overhead` microbench.
 //!
+//! Track identity is a *name* (e.g. `rank3`), not a thread: a rank
+//! registers its track at launch and holds the `Arc<Track>` in its own
+//! state, so under the M:N executor a task migrating across worker
+//! threads keeps appending to the same track and per-track sequence
+//! numbers stay dense.  The registration *index* (`tid` in chrome export)
+//! does follow start order and is therefore normalized away by the CI
+//! replay gates.
+//!
 //! Env conventions (matching the rest of the workspace's `MIM_*` family):
 //! `MIM_TRACE=<path>` enables the global tracer with a file sink;
 //! `MIM_TRACE_RING=<n>` overrides the per-track ring capacity

@@ -1,0 +1,455 @@
+//! Stackful fibers — minimal cooperative coroutines (replace `corosensei`).
+//!
+//! The M:N rank executor in `mim-mpisim` runs each simulated rank as a
+//! *fiber*: an ordinary blocking closure given its own call stack, which the
+//! scheduler can suspend at a well-defined seam (a mailbox wait) and resume
+//! later on any worker thread.  Fibers are the only design that lets a rank
+//! body — arbitrary user code that calls `recv` deep inside collectives —
+//! block without pinning an OS thread: a state-machine rewrite would need
+//! the whole call chain to be poll-based, and running stolen work on top of
+//! a blocked rank's stack deadlocks the moment two ranks wait on each other.
+//!
+//! The context switch is ~30 instructions of inline assembly implementing
+//! the System V x86-64 callee-saved contract (rbp, rbx, r12–r15, rsp); the
+//! switched-to code continues after its own last switch, so caller-saved
+//! state needs no saving.  Floating-point control state (mxcsr / x87 cw) is
+//! not switched: no code in this workspace modifies it.
+//!
+//! Only x86-64 unix is supported.  [`SUPPORTED`] is `false` elsewhere and
+//! the constructors panic; callers (the executor) must check it and fall
+//! back to thread-per-rank.
+//!
+//! Panic safety: the fiber entry point wraps the body in `catch_unwind`, so
+//! an unwinding rank panic never crosses the assembly frame (which would be
+//! undefined behaviour).  The payload is carried back to the resumer via
+//! [`Fiber::take_panic`].
+
+#[cfg(all(target_arch = "x86_64", target_family = "unix"))]
+mod imp {
+    use std::any::Any;
+    use std::cell::Cell;
+    use std::mem::MaybeUninit;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Whether stackful fibers work on this target.
+    pub const SUPPORTED: bool = true;
+
+    /// Smallest stack a fiber will be given, regardless of the requested
+    /// size.  Deep enough for the entry shim plus a panic unwind.
+    pub const MIN_STACK: usize = 16 * 1024;
+
+    /// Sentinel written at the low end of every fiber stack and checked on
+    /// each suspension; an overflowing fiber fails loudly instead of
+    /// corrupting the neighbouring allocation.
+    const CANARY: usize = 0x5AFE_57AC_C0DE_CAFE;
+
+    extern "C" {
+        fn mim_fiber_switch(save: *mut usize, load: usize);
+        fn mim_fiber_start();
+    }
+
+    // System V x86-64 context switch.  `save` receives the current stack
+    // pointer after the six callee-saved registers are pushed; `load` is a
+    // stack pointer previously produced the same way (or hand-built by
+    // `Fiber::new`).  The `ret` consumes the resume address sitting above
+    // the register block.
+    //
+    // `mim_fiber_start` is the first frame of every fiber: `Fiber::new`
+    // seeds r12 with the `FiberInner` pointer, and the `call` (not `jmp`)
+    // re-establishes the ABI rule that rsp ≡ 8 (mod 16) at function entry.
+    // `mim_fiber_entry` never returns (it diverges through the final
+    // switch-back loop), so the trailing `ud2` is unreachable.
+    core::arch::global_asm!(
+        ".text",
+        ".balign 16",
+        ".globl mim_fiber_switch",
+        ".hidden mim_fiber_switch",
+        "mim_fiber_switch:",
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "mov qword ptr [rdi], rsp",
+        "mov rsp, rsi",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+        ".balign 16",
+        ".globl mim_fiber_start",
+        ".hidden mim_fiber_start",
+        "mim_fiber_start:",
+        "mov rdi, r12",
+        "call mim_fiber_entry",
+        "ud2",
+    );
+
+    /// Heap-pinned fiber state.  Boxed so its address survives moves of the
+    /// owning [`Fiber`] handle — `suspend` captures a raw pointer to it
+    /// across the switch.
+    struct FiberInner {
+        /// Stack pointer at which to (re)enter the fiber.
+        resume_sp: usize,
+        /// Stack pointer of whoever called `resume`, to switch back to.
+        parent_sp: usize,
+        /// The rank body; taken by the entry shim on first resume.
+        body: Option<Box<dyn FnOnce() + Send>>,
+        /// Panic payload captured by the entry shim, if the body unwound.
+        panic: Option<Box<dyn Any + Send>>,
+        done: bool,
+        /// The fiber's call stack.  Dropped only after `done`, when no
+        /// frame on it is live.
+        stack: Box<[MaybeUninit<u8>]>,
+    }
+
+    thread_local! {
+        /// The fiber currently running on this thread, if any; set around
+        /// every `resume` so `suspend` can find its own state.
+        static CURRENT: Cell<*mut FiberInner> = const { Cell::new(std::ptr::null_mut()) };
+    }
+
+    /// Why [`Fiber::resume`] returned.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Resume {
+        /// The fiber called [`suspend`]; resume it again later.
+        Suspended,
+        /// The body returned or panicked; see [`Fiber::take_panic`].
+        Done,
+    }
+
+    /// A suspended computation with its own stack.
+    pub struct Fiber {
+        inner: Box<FiberInner>,
+    }
+
+    // SAFETY: a fiber may hold non-Send state (Rc clocks, RefCell
+    // mailboxes) on its private stack, but that state is only ever touched
+    // while the fiber runs, and `resume(&mut self)` guarantees at most one
+    // thread runs it at a time.  Migrating a *suspended* fiber between
+    // threads is exactly the one-thread-at-a-time discipline OS threads
+    // already provide; the non-Send types involved (Rc, RefCell, Cell) are
+    // thread-oblivious — they carry no thread-identity (unlike, say, a
+    // lock guard), so which thread resumes next is unobservable to them.
+    unsafe impl Send for Fiber {}
+
+    impl Fiber {
+        /// Create a fiber that will run `body` on its own `stack_size`-byte
+        /// stack (clamped up to [`MIN_STACK`]) when first resumed.
+        pub fn new(stack_size: usize, body: Box<dyn FnOnce() + Send>) -> Fiber {
+            let size = stack_size.max(MIN_STACK);
+            let stack = Box::new_uninit_slice(size);
+            let mut inner = Box::new(FiberInner {
+                resume_sp: 0,
+                parent_sp: 0,
+                body: Some(body),
+                panic: None,
+                done: false,
+                stack,
+            });
+            let base = inner.stack.as_mut_ptr() as usize;
+            let top = (base + size) & !15; // 16-aligned stack top
+            let sp = top - 7 * 8; // six registers + the resume address
+                                  // SAFETY: all writes land inside the freshly allocated stack;
+                                  // the layout mirrors what `mim_fiber_switch` pops.
+            unsafe {
+                (((base + 7) & !7) as *mut usize).write(CANARY);
+                let p = sp as *mut usize;
+                p.write(0); // r15
+                p.add(1).write(0); // r14
+                p.add(2).write(0); // r13
+                p.add(3).write(&mut *inner as *mut FiberInner as usize); // r12
+                p.add(4).write(0); // rbx
+                p.add(5).write(0); // rbp
+                p.add(6).write(mim_fiber_start as *const () as usize); // resume address
+            }
+            inner.resume_sp = sp;
+            Fiber { inner }
+        }
+
+        /// Run the fiber until it suspends or completes.  Must not be
+        /// called on a completed fiber (returns [`Resume::Done`] untouched).
+        pub fn resume(&mut self) -> Resume {
+            if self.inner.done {
+                return Resume::Done;
+            }
+            let ptr: *mut FiberInner = &mut *self.inner;
+            let prev = CURRENT.with(|c| c.replace(ptr));
+            // SAFETY: `resume_sp` is either the hand-built initial frame or
+            // the last frame saved by `suspend`/the entry loop; `ptr` stays
+            // valid for the whole switch because `FiberInner` is boxed and
+            // `&mut self` pins the handle.
+            unsafe {
+                mim_fiber_switch(&mut (*ptr).parent_sp, (*ptr).resume_sp);
+            }
+            CURRENT.with(|c| c.set(prev));
+            let base = self.inner.stack.as_ptr() as usize;
+            // SAFETY: reads the canary word written by `new`.
+            let canary = unsafe { (((base + 7) & !7) as *const usize).read() };
+            assert!(
+                canary == CANARY,
+                "fiber stack overflow: canary clobbered (raise task_stack_size)"
+            );
+            if self.inner.done {
+                Resume::Done
+            } else {
+                Resume::Suspended
+            }
+        }
+
+        /// Whether the body has finished.
+        pub fn is_done(&self) -> bool {
+            self.inner.done
+        }
+
+        /// The panic payload, if the body unwound (valid after `Done`).
+        pub fn take_panic(&mut self) -> Option<Box<dyn Any + Send>> {
+            self.inner.panic.take()
+        }
+    }
+
+    /// Suspend the currently running fiber, returning control to whoever
+    /// called [`Fiber::resume`].  Panics when called outside a fiber.
+    pub fn suspend() {
+        let ptr = CURRENT.with(|c| c.get());
+        assert!(!ptr.is_null(), "fiber::suspend() called outside a fiber");
+        // SAFETY: `ptr` was installed by the `resume` currently below us on
+        // the parent stack; the inner is boxed, so it cannot move.
+        unsafe {
+            mim_fiber_switch(&mut (*ptr).resume_sp, (*ptr).parent_sp);
+        }
+    }
+
+    /// Whether the calling code is running inside a fiber.
+    pub fn is_fiber() -> bool {
+        CURRENT.with(|c| !c.get().is_null())
+    }
+
+    /// First Rust frame of every fiber, reached via `mim_fiber_start`.
+    /// Runs the body under `catch_unwind` (unwinding across the assembly
+    /// frame would be UB), then parks forever in a switch-back loop so a
+    /// stray extra resume is harmless rather than a jump into freed stack.
+    #[no_mangle]
+    extern "C" fn mim_fiber_entry(ptr: *mut FiberInner) -> ! {
+        // SAFETY: `ptr` is the boxed FiberInner seeded into r12 by `new`;
+        // the box outlives the fiber because `Fiber` owns it.
+        unsafe {
+            if let Some(body) = (*ptr).body.take() {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+                    (*ptr).panic = Some(payload);
+                }
+            }
+            (*ptr).done = true;
+            loop {
+                mim_fiber_switch(&mut (*ptr).resume_sp, (*ptr).parent_sp);
+            }
+        }
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_family = "unix")))]
+mod imp {
+    use std::any::Any;
+
+    /// Whether stackful fibers work on this target.
+    pub const SUPPORTED: bool = false;
+
+    /// Smallest stack a fiber will be given (unused on this target).
+    pub const MIN_STACK: usize = 16 * 1024;
+
+    /// Why [`Fiber::resume`] returned.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Resume {
+        /// The fiber called [`suspend`]; resume it again later.
+        Suspended,
+        /// The body returned or panicked; see [`Fiber::take_panic`].
+        Done,
+    }
+
+    /// Unsupported-target stub; constructors panic.  Callers must check
+    /// [`SUPPORTED`] and fall back to thread-per-rank.
+    pub struct Fiber {
+        never: std::convert::Infallible,
+    }
+
+    impl Fiber {
+        /// Panics: fibers are not supported on this target.
+        pub fn new(_stack_size: usize, _body: Box<dyn FnOnce() + Send>) -> Fiber {
+            panic!("stackful fibers are not supported on this target (check fiber::SUPPORTED)");
+        }
+
+        /// Unreachable on this target.
+        pub fn resume(&mut self) -> Resume {
+            match self.never {}
+        }
+
+        /// Unreachable on this target.
+        pub fn is_done(&self) -> bool {
+            match self.never {}
+        }
+
+        /// Unreachable on this target.
+        pub fn take_panic(&mut self) -> Option<Box<dyn Any + Send>> {
+            match self.never {}
+        }
+    }
+
+    /// Panics: fibers are not supported on this target.
+    pub fn suspend() {
+        panic!("fiber::suspend() on a target without fiber support");
+    }
+
+    /// Always false on this target.
+    pub fn is_fiber() -> bool {
+        false
+    }
+}
+
+pub use imp::{is_fiber, suspend, Fiber, Resume, MIN_STACK, SUPPORTED};
+
+#[cfg(all(test, target_arch = "x86_64", target_family = "unix"))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_to_completion_without_suspending() {
+        let hit = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hit);
+        let mut f = Fiber::new(
+            MIN_STACK,
+            Box::new(move || {
+                h.store(7, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(f.resume(), Resume::Done);
+        assert!(f.is_done());
+        assert_eq!(hit.load(Ordering::SeqCst), 7);
+        assert!(f.take_panic().is_none());
+    }
+
+    #[test]
+    fn suspends_and_resumes_interleaved() {
+        let log = Arc::new(AtomicUsize::new(0));
+        let l = Arc::clone(&log);
+        let mut f = Fiber::new(
+            MIN_STACK,
+            Box::new(move || {
+                l.fetch_add(1, Ordering::SeqCst);
+                suspend();
+                l.fetch_add(10, Ordering::SeqCst);
+                suspend();
+                l.fetch_add(100, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(f.resume(), Resume::Suspended);
+        assert_eq!(log.load(Ordering::SeqCst), 1);
+        assert_eq!(f.resume(), Resume::Suspended);
+        assert_eq!(log.load(Ordering::SeqCst), 11);
+        assert_eq!(f.resume(), Resume::Done);
+        assert_eq!(log.load(Ordering::SeqCst), 111);
+    }
+
+    #[test]
+    fn panic_payload_is_captured_not_propagated() {
+        let mut f = Fiber::new(
+            MIN_STACK,
+            Box::new(|| {
+                panic!("boom from fiber");
+            }),
+        );
+        assert_eq!(f.resume(), Resume::Done);
+        let payload = f.take_panic().into_iter().next();
+        let msg =
+            payload.as_ref().and_then(|p| p.downcast_ref::<&str>().copied()).unwrap_or("<missing>");
+        assert_eq!(msg, "boom from fiber");
+    }
+
+    #[test]
+    fn suspended_fiber_migrates_between_threads() {
+        let sum = Arc::new(AtomicUsize::new(0));
+        let s = Arc::clone(&sum);
+        let mut f = Fiber::new(
+            MIN_STACK,
+            Box::new(move || {
+                s.fetch_add(1, Ordering::SeqCst);
+                suspend();
+                s.fetch_add(2, Ordering::SeqCst);
+                suspend();
+                s.fetch_add(4, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(f.resume(), Resume::Suspended);
+        let mut f = std::thread::spawn(move || {
+            assert_eq!(f.resume(), Resume::Suspended);
+            f
+        })
+        .join()
+        .unwrap_or_else(|_| panic!("migration thread panicked"));
+        assert_eq!(f.resume(), Resume::Done);
+        assert_eq!(sum.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn many_fibers_round_robin() {
+        const N: usize = 64;
+        const ROUNDS: usize = 8;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut fibers: Vec<Fiber> = (0..N)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                Fiber::new(
+                    MIN_STACK,
+                    Box::new(move || {
+                        for _ in 0..ROUNDS {
+                            c.fetch_add(1, Ordering::SeqCst);
+                            suspend();
+                        }
+                    }),
+                )
+            })
+            .collect();
+        let mut live = N;
+        while live > 0 {
+            live = 0;
+            for f in &mut fibers {
+                if !f.is_done() && f.resume() == Resume::Suspended {
+                    live += 1;
+                }
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), N * ROUNDS);
+    }
+
+    #[test]
+    fn nested_resume_runs_inner_fiber_on_fiber_stack() {
+        let out = Arc::new(AtomicUsize::new(0));
+        let o = Arc::clone(&out);
+        let mut outer = Fiber::new(
+            4 * MIN_STACK,
+            Box::new(move || {
+                let o2 = Arc::clone(&o);
+                let mut inner = Fiber::new(
+                    MIN_STACK,
+                    Box::new(move || {
+                        o2.store(42, Ordering::SeqCst);
+                        suspend();
+                        o2.store(43, Ordering::SeqCst);
+                    }),
+                );
+                assert_eq!(inner.resume(), Resume::Suspended);
+                suspend(); // suspends *outer*, not inner
+                assert_eq!(inner.resume(), Resume::Done);
+            }),
+        );
+        assert_eq!(outer.resume(), Resume::Suspended);
+        assert_eq!(out.load(Ordering::SeqCst), 42);
+        assert_eq!(outer.resume(), Resume::Done);
+        assert_eq!(out.load(Ordering::SeqCst), 43);
+    }
+}

@@ -11,12 +11,16 @@
 //! | [`sync`] | `parking_lot` | NIC counters, one-sided windows, runtime |
 //! | [`prop`] | `proptest` | every `proptests.rs` suite |
 //! | [`bench`] | `criterion` | the `crates/bench` microbenchmarks |
+//! | [`deque`] | `crossbeam::deque` | the mpisim M:N rank executor |
+//! | [`fiber`] | `corosensei` | the mpisim M:N rank executor |
 //!
 //! The replacements are deliberately small: deterministic, seedable, and
 //! with just enough API surface for the call sites in this repository.
 
 pub mod bench;
 pub mod channel;
+pub mod deque;
+pub mod fiber;
 pub mod prop;
 pub mod rng;
 pub mod sync;

@@ -68,6 +68,66 @@ impl<T> RwLock<T> {
     }
 }
 
+/// An epoch-counting condition variable: the blocking seam of the M:N rank
+/// executor, and the one place its scheduler touches the wall clock (this
+/// crate is outside the simulator's no-wall-clock lint scope by design).
+///
+/// Waiters snapshot [`epoch`](Notifier::epoch), re-check their predicate
+/// (queues, shutdown flags), then sleep in
+/// [`wait_while_epoch`](Notifier::wait_while_epoch) — the epoch read
+/// *before* the predicate check makes the classic lost-wakeup race benign:
+/// a notification between check and sleep advances the epoch, so the wait
+/// returns immediately.
+#[derive(Debug, Default)]
+pub struct Notifier {
+    epoch: std::sync::Mutex<u64>,
+    cv: std::sync::Condvar,
+}
+
+impl Notifier {
+    /// A notifier at epoch 0.
+    pub fn new() -> Notifier {
+        Notifier::default()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        *self.epoch.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Advance the epoch and wake every waiter.
+    pub fn notify(&self) {
+        let mut e = self.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        *e = e.wrapping_add(1);
+        self.cv.notify_all();
+    }
+
+    /// Block until the epoch differs from `seen`.
+    pub fn wait_while_epoch(&self, seen: u64) {
+        let mut e = self.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        while *e == seen {
+            e = self.cv.wait(e).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Block until the epoch differs from `seen` or `timeout` elapses.
+    /// Returns `true` when the epoch advanced, `false` on timeout.
+    pub fn wait_timeout_epoch(&self, seen: u64, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut e = self.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        while *e == seen {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _res) =
+                self.cv.wait_timeout(e, deadline - now).unwrap_or_else(PoisonError::into_inner);
+            e = guard;
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +144,38 @@ mod tests {
         .join();
         *m.lock() += 1; // parking_lot semantics: no Err, no panic
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn notifier_epoch_read_before_check_prevents_lost_wakeup() {
+        let n = Arc::new(Notifier::new());
+        let n2 = Arc::clone(&n);
+        let seen = n.epoch();
+        // Notify *before* the wait starts: the stale epoch makes the wait
+        // return immediately instead of sleeping forever.
+        n2.notify();
+        n.wait_while_epoch(seen);
+        assert_eq!(n.epoch(), seen + 1);
+    }
+
+    #[test]
+    fn notifier_wakes_a_sleeping_waiter() {
+        let n = Arc::new(Notifier::new());
+        let n2 = Arc::clone(&n);
+        let seen = n.epoch();
+        let waiter = std::thread::spawn(move || n2.wait_while_epoch(seen));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        n.notify();
+        waiter.join().unwrap_or_else(|_| panic!("waiter panicked"));
+    }
+
+    #[test]
+    fn notifier_timeout_reports_no_progress() {
+        let n = Notifier::new();
+        let seen = n.epoch();
+        assert!(!n.wait_timeout_epoch(seen, std::time::Duration::from_millis(5)));
+        n.notify();
+        assert!(n.wait_timeout_epoch(seen, std::time::Duration::from_millis(5)));
     }
 
     #[test]

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""CI executor gate: thread-per-rank and M:N task engines must agree.
+
+Runs the ``quickstart`` and ``chaos_stencil`` examples once with
+``MIM_EXECUTOR=threads`` and once with ``MIM_EXECUTOR=tasks`` (fixed
+``MIM_CHAOS_SEED``, ``MIM_TRACE`` pointed at a fresh JSONL file each run)
+and requires, per example:
+
+1. both runs exit 0;
+2. stdout is byte-identical across the two engines — the simulated
+   application cannot tell which engine ran it;
+3. the two trace dumps are identical after the same normalization
+   ``check_chaos.py`` applies (sort lines; zero ``tid`` and ``uq``) —
+   every *virtual-time* field (timestamps, retries, backoffs, payload
+   sizes, per-track sequence numbers) is compared exactly, because the
+   discrete-event clock must not know how ranks are scheduled.
+
+``chaos_stencil`` is the adversarial half of the gate: under the task
+engine its retry timers, duplicate deliveries and scheduled crash all fire
+against *parked tasks*, so byte-identical replay here pins the whole
+park/unpark protocol, not just the happy path.
+
+Usage: check_executor.py path/to/quickstart path/to/chaos_stencil [seed]
+"""
+import os
+import subprocess
+import sys
+import tempfile
+
+from check_chaos import normalize
+
+SEED = "42"
+ENGINES = ("threads", "tasks")
+
+
+def run_once(example, engine, seed, trace_path, problems):
+    env = dict(os.environ, MIM_EXECUTOR=engine, MIM_CHAOS_SEED=seed, MIM_TRACE=trace_path)
+    env.pop("MIM_CHAOS_PLAN", None)  # gate the built-in plan, like check_chaos
+    r = subprocess.run([example], capture_output=True, text=True, env=env, check=False)
+    name = os.path.basename(example)
+    if r.returncode != 0:
+        problems.append(f"{name} ({engine}, seed {seed}) exited {r.returncode}:\n{r.stdout}{r.stderr}")
+    if "using threads" in r.stderr and engine == "tasks":
+        problems.append(f"{name}: task engine silently fell back to threads:\n{r.stderr}")
+    return r.stdout
+
+
+def check_example(example, seed, tmp, problems):
+    name = os.path.basename(example)
+    outs, norms = {}, {}
+    for engine in ENGINES:
+        trace = os.path.join(tmp, f"{name}.{engine}.jsonl")
+        outs[engine] = run_once(example, engine, seed, trace, problems)
+        norms[engine] = normalize(trace) if os.path.exists(trace) else None
+    if outs["threads"] != outs["tasks"]:
+        problems.append(f"{name}: stdout diverged between executors (seed {seed})")
+    if norms["threads"] is None or norms["tasks"] is None:
+        problems.append(f"{name}: an engine produced no trace file")
+    elif norms["threads"] != norms["tasks"]:
+        diff = sum(a != b for a, b in zip(norms["threads"], norms["tasks"]))
+        diff += abs(len(norms["threads"]) - len(norms["tasks"]))
+        problems.append(
+            f"{name}: normalized traces diverged between executors "
+            f"({len(norms['threads'])} vs {len(norms['tasks'])} lines, {diff} differing)"
+        )
+    return len(norms["threads"] or [])
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    quickstart, chaos_stencil = sys.argv[1], sys.argv[2]
+    seed = sys.argv[3] if len(sys.argv) == 4 else SEED
+    problems = []
+    with tempfile.TemporaryDirectory() as tmp:
+        events = [check_example(ex, seed, tmp, problems) for ex in (quickstart, chaos_stencil)]
+    if problems:
+        for p in problems:
+            print(f"  BAD  {p}", file=sys.stderr)
+        print(f"check_executor: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(
+        f"check_executor: ok (threads and tasks engines byte-identical on "
+        f"quickstart [{events[0]} events] and chaos_stencil [{events[1]} events], seed {seed})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,15 @@ Two rules, both scoped to library code with `#[cfg(test)]` items stripped:
    virtual-time machine and the analyzer a pure function; determinism is
    the whole point.  Sanctioned wall-clock use lives in `mim-util`
    (channel timeouts, the bench timer) and `mim-reorder` (reordering-cost
-   measurement), which this gate does not scan.
+   measurement), which this gate does not scan — with one exception:
+
+3. The M:N executor's substrate (`mim-util`'s `fiber.rs` and `deque.rs`)
+   is held to both rules even though the rest of `mim-util` is not.
+   These run on the scheduler hot path under every parked rank: an
+   unwrap there takes down a whole worker's task set, and a wall-clock
+   read there would let scheduling order leak into behavior.  Blocking
+   wall-clock waits belong in `sync.rs` (the Notifier), where the
+   executor's idle workers and its starvation watchdog sleep.
 """
 import re
 import sys
@@ -24,6 +32,8 @@ REPO = Path(__file__).resolve().parent.parent
 
 UNWRAP_SCOPE = ["crates/mpisim/src", "crates/core/src"]
 CLOCK_SCOPE = ["crates/mpisim/src", "crates/core/src", "crates/analyze/src"]
+# Rule 3: single files (not whole directories) held to both rules.
+EXEC_SUBSTRATE = ["crates/util/src/fiber.rs", "crates/util/src/deque.rs"]
 
 # (file name, code substring) pairs; the substring must appear on the
 # offending line for it to pass.  Keep each entry justified.
@@ -101,9 +111,11 @@ def allowed(path, code):
 def main() -> int:
     problems = []
     used = set()
+    targets = []
     for scope in sorted(set(UNWRAP_SCOPE + CLOCK_SCOPE)):
-        check_unwrap = scope in UNWRAP_SCOPE
-        for path in sorted((REPO / scope).rglob("*.rs")):
+        targets += [(p, scope in UNWRAP_SCOPE) for p in sorted((REPO / scope).rglob("*.rs"))]
+    targets += [(REPO / f, True) for f in EXEC_SUBSTRATE]
+    for path, check_unwrap in targets:
             # `tests.rs` files are `#[cfg(test)] mod tests;` bodies — the
             # gating attribute lives in the parent module, not here.
             if path.name == "tests.rs" or "tests" in path.parent.parts:

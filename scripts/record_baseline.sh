@@ -2,9 +2,8 @@
 # Record a performance baseline into results/BENCH_seed.json (or the file
 # named by the first argument, e.g. `record_baseline.sh BENCH_pr2.json`).
 #
-# Runs the in-tree microbench harness binaries (hook_overhead, treematch,
-# coll_algorithms, mailbox_matching, des_evaluate, trace_overhead,
-# analyze_schedule) with MIM_BENCH_JSON so
+# Runs every in-tree microbench harness binary (the `for bench in` list
+# below, from hook_overhead through universe_scale) with MIM_BENCH_JSON so
 # their measurements accumulate as JSON lines, times the fig2/fig4 figure
 # binaries end to end, and assembles everything into one valid JSON
 # document.
@@ -26,7 +25,7 @@ trap 'rm -f "$lines_file"' EXIT
 
 cargo build --release --offline -p mim-bench --benches --bins
 
-for bench in hook_overhead treematch coll_algorithms mailbox_matching des_evaluate trace_overhead analyze_schedule chaos_overhead retry_storm; do
+for bench in hook_overhead treematch coll_algorithms mailbox_matching des_evaluate trace_overhead analyze_schedule chaos_overhead retry_storm universe_scale; do
   echo "===== microbench $bench"
   MIM_BENCH_JSON="$lines_file" cargo bench --offline -p mim-bench --bench "$bench" \
     > "$results_dir/logs/bench_$bench.log" 2>&1
