@@ -1,0 +1,71 @@
+//! Cost of one rank's monitoring accumulator as the communicator order
+//! climbs from 256 to 10,000 — the sparse data plane's headline number.
+//!
+//! The dense representation pays O(n) memory per rank per session no matter
+//! how few peers a rank talks to; on an O(n)-pair workload (each rank
+//! exchanges with its two ring neighbours plus a root) the sparse hybrid
+//! pays only for the pairs actually touched.  The bench measures the full
+//! accumulator life cycle — allocate, record a fixed event volume, query the
+//! sparse row — for both representations at each rung, and asserts the
+//! acceptance bar: at 10k ranks the sparse accumulator must hold the same
+//! totals in at least 10x less memory.
+
+use mim_core::{Flags, PairAccum};
+use mim_util::bench::{black_box, Bench};
+
+const ROUNDS: u64 = 64;
+
+/// One rank's accumulator life at communicator order `n`: allocate, record
+/// `ROUNDS` messages to each of three peers (both kinds exercised), then
+/// drain the sparse row.  Returns a checksum so the optimizer keeps it.
+fn churn(n: usize, dense_limit: usize) -> u64 {
+    let mut acc = PairAccum::with_dense_limit(n, dense_limit);
+    let me = n / 2;
+    let peers = [(me + 1) % n, (me + n - 1) % n, 0];
+    for round in 0..ROUNDS {
+        for &p in &peers {
+            acc.record(p, 0, 64 + round);
+            acc.record(p, 1, 32);
+        }
+    }
+    acc.sparse_row(Flags::ALL_COMM).iter().map(|&(dst, c, b)| dst + c + b).sum()
+}
+
+/// Memory held by a populated accumulator on the same workload.
+fn mem_after_churn(n: usize, dense_limit: usize) -> usize {
+    let mut acc = PairAccum::with_dense_limit(n, dense_limit);
+    let me = n / 2;
+    let peers = [(me + 1) % n, (me + n - 1) % n, 0];
+    for &p in &peers {
+        acc.record(p, 0, 64);
+    }
+    acc.mem_bytes()
+}
+
+fn main() {
+    let mut b = Bench::new("monitor_scale");
+
+    for n in [256usize, 1024, 4096, 10_000] {
+        b.iter("monitor_scale", &format!("dense/{n}"), || {
+            black_box(churn(n, usize::MAX));
+        });
+        b.iter("monitor_scale", &format!("sparse/{n}"), || {
+            black_box(churn(n, 0));
+        });
+    }
+
+    // Acceptance bar: the sparse plane holds an O(n)-pair workload's totals
+    // in at least 10x less memory than dense at 10k ranks.
+    let dense = mem_after_churn(10_000, usize::MAX);
+    let sparse = mem_after_churn(10_000, 0);
+    assert!(
+        sparse.saturating_mul(10) <= dense,
+        "sparse accumulator not 10x smaller at 10k ranks: dense {dense}B, sparse {sparse}B"
+    );
+    eprintln!(
+        "monitor_scale: 10k-rank accumulator memory dense {dense}B, sparse {sparse}B ({:.0}x)",
+        dense as f64 / sparse as f64
+    );
+
+    b.finish();
+}

@@ -11,13 +11,22 @@ use mim_mpisim::trace::{TraceData, TraceHandle};
 use mim_mpisim::{Comm, PmlEvent, Rank};
 use mim_topology::CommMatrix;
 
+use crate::accum::PairAccum;
 use crate::error::{MonError, Result};
 use crate::flags::Flags;
-use crate::session::{Msid, SessionData, SessionState, SessionTable, MAX_SESSIONS};
+use crate::session::{Msid, SessionData, SessionState, SessionTable, WindowDelta, MAX_SESSIONS};
 
 /// Reserved tag for [`Monitoring::rootgather_partial`] rows; high bits keep
 /// it clear of application tags used by the example workloads.
 const PARTIAL_GATHER_TAG: u32 = 0x00C4_0000;
+
+/// Default fan-in of the tree-structured root gather; override with the
+/// `MIM_GATHER_ARITY` environment variable (minimum 2).
+const DEFAULT_GATHER_ARITY: usize = 8;
+
+/// One rank's traffic in the gather wire format: `(dst, count, bytes)`
+/// triples sorted by destination, zero pairs omitted.
+type SparseRow = Vec<(u64, u64, u64)>;
 
 /// Per-session metadata returned by [`Monitoring::get_info`]
 /// (the paper's `MPI_M_get_info`).
@@ -68,9 +77,28 @@ pub struct TraceCounters {
     pub events: u64,
     /// Bytes recorded by the session so far (all kinds).
     pub bytes: u64,
+    /// Sealed epoch windows since start/reset (see
+    /// [`Monitoring::advance_window`]).
+    pub epoch: u64,
+    /// Messages recorded in the current (unsealed) window.
+    pub window_events: u64,
+    /// Bytes recorded in the current (unsealed) window.
+    pub window_bytes: u64,
     /// High-water mark of this rank's unexpected-message queue over the
     /// process lifetime (not reset per session: it diagnoses the process).
     pub max_unexpected_depth: usize,
+}
+
+/// One epoch window's gather result ([`Monitoring::gather_window`], from a
+/// *live* session).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatheredWindow {
+    /// 1-based index of the window this rank sealed (ranks stay in lockstep
+    /// when every window is advanced through the same collective calls).
+    pub epoch: u64,
+    /// The window's traffic matrices (`liveness` all-true) — `Some` at the
+    /// gathering root, `None` elsewhere.
+    pub data: Option<GatheredData>,
 }
 
 /// The monitoring environment of one process (paper: the state set up by
@@ -91,6 +119,9 @@ pub struct Monitoring {
     hook: LocalHookHandle,
     world_rank: usize,
     finalized: std::cell::Cell<bool>,
+    /// Dense/sparse threshold for session accumulators (see
+    /// [`Monitoring::init_with_dense_limit`]).
+    dense_limit: usize,
     /// The owning rank's trace track and clock, for recording session
     /// lifecycle transitions on that rank's timeline (`None` when tracing
     /// is off).  The clock is shared because suspend/resume/reset/free are
@@ -102,6 +133,16 @@ impl Monitoring {
     /// Set up the monitoring environment (`MPI_M_init`): registers the
     /// recorder at the PML layer so every outgoing message is observed.
     pub fn init(rank: &Rank) -> Result<Self> {
+        Self::init_with_dense_limit(rank, PairAccum::DEFAULT_DENSE_LIMIT)
+    }
+
+    /// [`Monitoring::init`] with an explicit dense/sparse threshold for the
+    /// per-pair accumulators of this environment's sessions: communicators
+    /// up to `dense_limit` members store dense rows (the paper's literal
+    /// layout), larger ones store one hash cell per destination actually
+    /// touched.  The two representations are observationally identical;
+    /// benchmarks and equivalence tests force one with `0` / `usize::MAX`.
+    pub fn init_with_dense_limit(rank: &Rank, dense_limit: usize) -> Result<Self> {
         let state = Rc::new(RefCell::new(SessionTable::new(MAX_SESSIONS)));
         let recorder = Rc::clone(&state);
         let hook =
@@ -111,6 +152,7 @@ impl Monitoring {
             hook,
             world_rank: rank.world_rank(),
             finalized: std::cell::Cell::new(false),
+            dense_limit,
             trace: rank.trace_handle().map(|t| (t, rank.clock_shared())),
         };
         this.trace_session("init", Msid::ALL);
@@ -160,7 +202,10 @@ impl Monitoring {
     pub fn start(&self, rank: &Rank, comm: &Comm) -> Result<Msid> {
         self.check_init()?;
         rank.barrier(comm);
-        let msid = self.state.borrow_mut().insert(SessionData::new(comm.clone()))?;
+        let msid = self
+            .state
+            .borrow_mut()
+            .insert(SessionData::with_dense_limit(comm.clone(), self.dense_limit))?;
         // Recorded *after* the barrier and the insert, so everything past
         // this marker on the track is traffic the session could observe —
         // the trace/monitoring cross-check property relies on that.
@@ -261,8 +306,93 @@ impl Monitoring {
         Ok(TraceCounters {
             events: s.events,
             bytes: s.bytes,
+            epoch: s.epoch,
+            window_events: s.window_events,
+            window_bytes: s.window_bytes,
             max_unexpected_depth: rank.max_unexpected_depth(),
         })
+    }
+
+    /// Seal the session's current epoch window and return its delta: the
+    /// per-destination traffic recorded since the previous advance
+    /// (`start`/`reset` otherwise).  **Legal on an active session** — this
+    /// is the live-introspection primitive: recording continues into the
+    /// next window with no suspend barrier.  Local; requires a specific
+    /// msid (not [`Msid::ALL`]).
+    pub fn advance_window(&self, msid: Msid) -> Result<WindowDelta> {
+        self.check_init()?;
+        let delta = self.state.borrow_mut().get_mut(msid)?.advance_window();
+        self.trace_window(msid, &delta);
+        Ok(delta)
+    }
+
+    /// Seal every member's current window and gather the deltas at `root`
+    /// along the topology-ordered tree: the live (no-suspend) counterpart
+    /// of [`Monitoring::rootgather_data`].  Collective over the session's
+    /// communicator; every rank gets its sealed epoch back, and the root's
+    /// result additionally carries the window's matrices restricted to
+    /// `flags`.  The session is **muted** for the duration of the gather,
+    /// so the monitoring plane's own control traffic never contaminates
+    /// the next window.
+    ///
+    /// The window is sealed for *all* kinds — `flags` only filters what is
+    /// shipped — so consecutive calls partition the session's traffic into
+    /// disjoint windows whatever flags each call uses.
+    pub fn gather_window(
+        &self,
+        rank: &Rank,
+        msid: Msid,
+        root: usize,
+        flags: Flags,
+    ) -> Result<GatheredWindow> {
+        self.check_init()?;
+        let (delta, comm) = {
+            let mut st = self.state.borrow_mut();
+            let s = st.get_mut(msid)?;
+            if root >= s.comm.size() {
+                return Err(MonError::InvalidRoot);
+            }
+            s.muted = true;
+            (s.advance_window(), s.comm.clone())
+        };
+        self.trace_window(msid, &delta);
+        let mut buf = Vec::with_capacity(delta.entries.len() * 3);
+        for e in &delta.entries {
+            let (mut count, mut bytes) = (0u64, 0u64);
+            for k in flags.selected_indices() {
+                count += e.counts[k];
+                bytes += e.sizes[k];
+            }
+            if count != 0 || bytes != 0 {
+                buf.extend([e.dst as u64, count, bytes]);
+            }
+        }
+        // The table borrow is dropped around the collective (the hook
+        // re-enters it for sessions that are not muted).
+        let order = topology_order(rank, &comm, root);
+        let rows = rank.gather_tree(&comm, root, gather_arity(), &order, &buf);
+        if let Ok(s) = self.state.borrow_mut().get_mut(msid) {
+            s.muted = false;
+        }
+        Ok(GatheredWindow {
+            epoch: delta.epoch,
+            data: rows.map(|rows| densify(&rows, comm.size())),
+        })
+    }
+
+    /// Record a sealed window on the rank's trace track.
+    fn trace_window(&self, msid: Msid, delta: &WindowDelta) {
+        if let Some((t, clock)) = &self.trace {
+            t.record(
+                clock.now_ns(),
+                TraceData::Window {
+                    msid: msid.0,
+                    epoch: delta.epoch,
+                    events: delta.events,
+                    bytes: delta.bytes,
+                },
+            );
+        }
     }
 
     /// Copy out this process's row of the session's data (`MPI_M_get_data`),
@@ -306,7 +436,41 @@ impl Monitoring {
 
     /// Like [`Monitoring::allgather_data`] but only `root` receives the data
     /// (`MPI_M_rootgather_data`); other members get `None`.
+    ///
+    /// Rows travel in sparse `(dst, count, bytes)` triples along a k-ary
+    /// tree ordered by machine topology (see [`Rank::gather_tree`]), so
+    /// rows aggregate within a node before crossing the network and the
+    /// root's mailbox sees O(arity) peers instead of O(n).  The matrices
+    /// are bit-identical to the former star gather's (pinned by the
+    /// equivalence properties in this crate's tests).
     pub fn rootgather_data(
+        &self,
+        rank: &Rank,
+        msid: Msid,
+        root: usize,
+        flags: Flags,
+    ) -> Result<Option<GatheredData>> {
+        self.check_init()?;
+        let (sparse, comm) = self.sparse_row_and_comm(msid, flags)?;
+        let n = comm.size();
+        if root >= n {
+            return Err(MonError::InvalidRoot);
+        }
+        let mut buf = Vec::with_capacity(sparse.len() * 3);
+        for (dst, count, bytes) in sparse {
+            buf.extend([dst, count, bytes]);
+        }
+        let order = topology_order(rank, &comm, root);
+        let Some(rows) = rank.gather_tree(&comm, root, gather_arity(), &order, &buf) else {
+            return Ok(None);
+        };
+        Ok(Some(densify(&rows, n)))
+    }
+
+    /// The seed's star gather — every rank sends its dense row straight to
+    /// the root — kept as the test oracle for the tree path above.
+    #[cfg(test)]
+    pub(crate) fn rootgather_data_star(
         &self,
         rank: &Rank,
         msid: Msid,
@@ -456,6 +620,17 @@ impl Monitoring {
         Ok((SessionRow { counts, sizes }, s.comm.clone()))
     }
 
+    /// [`Monitoring::row_and_comm`], but in the sparse `(dst, count, bytes)`
+    /// wire format the tree gather ships (zero pairs omitted).
+    fn sparse_row_and_comm(&self, msid: Msid, flags: Flags) -> Result<(SparseRow, Comm)> {
+        let st = self.state.borrow();
+        let s = st.get(msid)?;
+        if s.state != SessionState::Suspended {
+            return Err(MonError::SessionNotSuspended);
+        }
+        Ok((s.sparse_row(flags), s.comm.clone()))
+    }
+
     fn for_each(
         &self,
         msid: Msid,
@@ -474,6 +649,51 @@ impl Monitoring {
             f(st.get_mut(msid)?)
         }
     }
+}
+
+/// Rank order for the gather tree: communicator ranks sorted by machine
+/// position — `(node, core, rank)` — with the root moved to the front, so
+/// each node's members form a contiguous run that aggregates locally before
+/// one rank forwards across the network.  Deterministic, and identical on
+/// every rank (machine and placement are universe-global state).
+fn topology_order(rank: &Rank, comm: &Comm, root: usize) -> Vec<usize> {
+    let machine = rank.machine();
+    let placement = rank.placement();
+    let mut order: Vec<usize> = (0..comm.size()).collect();
+    order.sort_by_key(|&r| {
+        let core = placement.core_of(comm.world_rank_of(r));
+        (machine.node_of_core(core), core, r)
+    });
+    if let Some(pos) = order.iter().position(|&r| r == root) {
+        order.remove(pos);
+    }
+    order.insert(0, root);
+    order
+}
+
+/// Fan-in of the gather tree (`MIM_GATHER_ARITY`, default
+/// [`DEFAULT_GATHER_ARITY`], minimum 2).
+fn gather_arity() -> usize {
+    std::env::var("MIM_GATHER_ARITY")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(DEFAULT_GATHER_ARITY, |a| a.max(2))
+}
+
+/// Expand per-rank sparse `(dst, count, bytes)` triples into the dense
+/// matrices of [`GatheredData`].  Unmentioned cells stay zero, which is
+/// exactly what the dense representation recorded for them — the reason
+/// sparse and dense gathers are bit-identical.
+fn densify(rows: &[Vec<u64>], n: usize) -> GatheredData {
+    let mut counts = CommMatrix::zeros(n);
+    let mut sizes = CommMatrix::zeros(n);
+    for (i, row) in rows.iter().enumerate() {
+        for t in row.chunks_exact(3) {
+            counts.set(i, t[0] as usize, t[1]);
+            sizes.set(i, t[0] as usize, t[2]);
+        }
+    }
+    GatheredData { counts, sizes, liveness: vec![true; n] }
 }
 
 fn write_row(w: &mut impl Write, my_rank: usize, row: &SessionRow) -> std::io::Result<()> {

@@ -1,7 +1,8 @@
 //! End-to-end tests of the monitoring API on the live runtime.
 
-use mim_mpisim::{SrcSel, TagSel, Universe, UniverseConfig};
-use mim_topology::{Machine, Placement};
+use mim_mpisim::{ExecutorKind, SrcSel, TagSel, Universe, UniverseConfig};
+use mim_topology::{Machine, Placement, TopologyTree};
+use mim_util::props;
 
 use crate::error::MonError;
 use crate::flags::Flags;
@@ -317,6 +318,178 @@ fn all_msid_suspends_everything() {
         mon.suspend(Msid::ALL).unwrap();
         mon.free(Msid::ALL).unwrap();
         assert_eq!(mon.get_data(a, Flags::ALL_COMM).err(), Some(MonError::InvalidMsid));
+        mon.finalize(rank).unwrap();
+    });
+}
+
+/// The equivalence harness behind the `props!` below: run one seeded
+/// workload on one topology under one executor, with a dense-forced and a
+/// sparse-forced monitoring environment watching side by side, and assert
+/// that every combination of {dense, sparse} × {star oracle, tree gather}
+/// produces bit-identical matrices for every flag selection.
+fn check_equivalence(
+    machine: Machine,
+    placement: Placement,
+    n: usize,
+    kind: ExecutorKind,
+    events: Vec<(usize, usize, u64)>,
+    bcast_root: usize,
+    gather_root: usize,
+) {
+    let cfg = UniverseConfig::new(machine, placement).with_executor(kind);
+    Universe::new(cfg).launch(move |rank| {
+        let world = rank.comm_world();
+        let me = world.rank();
+        // Two environments observe the same traffic: one forced dense (the
+        // seed's literal layout), one forced sparse.
+        let dense = Monitoring::init_with_dense_limit(rank, usize::MAX).unwrap();
+        let sparse = Monitoring::init_with_dense_limit(rank, 0).unwrap();
+        let id_d = dense.start(rank, &world).unwrap();
+        // The dense session must not record the sparse session's start
+        // barrier (a session never records its own start): park it across
+        // the second start so both observe exactly the same traffic.
+        dense.suspend(id_d).unwrap();
+        let id_s = sparse.start(rank, &world).unwrap();
+        dense.resume(id_d).unwrap();
+
+        // Seeded workload covering all three kinds: random matched p2p
+        // pairs, a broadcast + barrier, and a one-sided put.
+        for &(src, dst, bytes) in &events {
+            if me == src {
+                rank.send(&world, dst, 7, &vec![0u8; bytes as usize]);
+            } else if me == dst {
+                rank.recv::<u8>(&world, SrcSel::Rank(src), TagSel::Is(7));
+            }
+        }
+        let mut payload = if me == bcast_root { vec![3u8; 257] } else { Vec::new() };
+        rank.bcast(&world, bcast_root, &mut payload);
+        let win = rank.win_create(&world, vec![0u8; 64]);
+        if me == bcast_root {
+            rank.put(&win, (me + 1) % n, 0, &[9u8; 48]);
+        }
+        rank.fence(&win);
+
+        dense.suspend(id_d).unwrap();
+        sparse.suspend(id_s).unwrap();
+        for flags in [Flags::P2P_ONLY, Flags::COLL_ONLY, Flags::OSC_ONLY, Flags::ALL_COMM] {
+            // Local rows agree between representations.
+            assert_eq!(dense.get_data(id_d, flags).unwrap(), sparse.get_data(id_s, flags).unwrap());
+            // Star gather on the dense environment is the seed oracle ...
+            let oracle = dense.rootgather_data_star(rank, id_d, gather_root, flags).unwrap();
+            // ... and tree/star × dense/sparse all reproduce it bit for bit.
+            let tree_d = dense.rootgather_data(rank, id_d, gather_root, flags).unwrap();
+            let tree_s = sparse.rootgather_data(rank, id_s, gather_root, flags).unwrap();
+            let star_s = sparse.rootgather_data_star(rank, id_s, gather_root, flags).unwrap();
+            assert_eq!(tree_d, oracle, "dense/tree vs dense/star");
+            assert_eq!(tree_s, oracle, "sparse/tree vs dense/star");
+            assert_eq!(star_s, oracle, "sparse/star vs dense/star");
+            assert_eq!(oracle.is_some(), me == gather_root);
+        }
+        let cd = dense.trace_counters(rank, id_d).unwrap();
+        let cs = sparse.trace_counters(rank, id_s).unwrap();
+        assert_eq!((cd.events, cd.bytes), (cs.events, cs.bytes));
+
+        dense.free(id_d).unwrap();
+        sparse.free(id_s).unwrap();
+        dense.finalize(rank).unwrap();
+        sparse.finalize(rank).unwrap();
+        rank.win_free(win);
+    });
+}
+
+props! {
+    /// Sparse-vs-dense accumulators and tree-vs-star gathers are
+    /// bit-identical across 3 machine topologies and both executors, on a
+    /// random workload per case (3 cases ≙ 3 seeds; replay with
+    /// MIM_PROP_SEED).
+    fn monitoring_equivalence_across_topologies_and_executors(g, cases = 3) {
+        // (machine, placement, n): two packed clusters of different shape
+        // and awkward size, plus a cyclic placement that splits every
+        // communicator across nodes.
+        let tree = TopologyTree::new(vec![2, 1, 8]);
+        let topologies = [
+            (Machine::cluster(2, 2, 4), Placement::packed(8), 8),
+            (Machine::cluster(4, 1, 4), Placement::packed(13), 13),
+            (Machine::cluster(2, 1, 8), Placement::cyclic_by_level(&tree, 8, 1), 8),
+        ];
+        for (machine, placement, n) in topologies {
+            let events: Vec<(usize, usize, u64)> = g.vec(1..24, |g| {
+                let src = g.index(n);
+                let mut dst = g.index(n);
+                if dst == src {
+                    dst = (dst + 1) % n;
+                }
+                (src, dst, g.gen_range(0u64..2048))
+            });
+            let bcast_root = g.index(n);
+            let gather_root = g.index(n);
+            for kind in [ExecutorKind::Threads, ExecutorKind::Tasks] {
+                if kind == ExecutorKind::Tasks && !mim_util::fiber::SUPPORTED {
+                    continue;
+                }
+                check_equivalence(
+                    machine.clone(),
+                    placement.clone(),
+                    n,
+                    kind,
+                    events.clone(),
+                    bcast_root,
+                    gather_root,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn live_window_queries_need_no_suspend() {
+    // Acceptance: trace_counters and gather_window work on an ACTIVE
+    // session; windows partition traffic; totals keep accumulating.
+    let u = universe(4);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let mon = Monitoring::init(rank).unwrap();
+        let id = mon.start(rank, &world).unwrap();
+
+        send_one(rank, 100);
+        let live = mon.trace_counters(rank, id).unwrap();
+        assert_eq!(live.epoch, 0);
+        if world.rank() == 0 {
+            assert_eq!(live.window_bytes, 100, "live counters see the open window");
+        }
+
+        let w1 = mon.gather_window(rank, id, 0, Flags::P2P_ONLY).unwrap();
+        assert_eq!(w1.epoch, 1, "every rank learns its sealed epoch");
+        if world.rank() == 0 {
+            let data = w1.data.expect("root receives the window matrices");
+            assert_eq!(data.sizes.get(0, 1), 100);
+            assert_eq!(data.sizes.total(), 100);
+        } else {
+            assert!(w1.data.is_none());
+        }
+
+        // Second window: only the new traffic, not a re-count of the first.
+        send_one(rank, 40);
+        let w2 = mon.gather_window(rank, id, 0, Flags::P2P_ONLY).unwrap();
+        assert_eq!(w2.epoch, 2);
+        if world.rank() == 0 {
+            assert_eq!(w2.data.expect("root").sizes.total(), 40);
+        }
+
+        // The session never left the ACTIVE state: suspended-only accessors
+        // still refuse, and totals cover both windows.
+        assert_eq!(mon.get_data(id, Flags::ALL_COMM).err(), Some(MonError::SessionNotSuspended));
+        let c = mon.trace_counters(rank, id).unwrap();
+        assert_eq!(c.epoch, 2);
+        if world.rank() == 0 {
+            assert_eq!(c.bytes, 140, "totals span all windows; gather traffic muted");
+        }
+
+        mon.suspend(id).unwrap();
+        if world.rank() == 0 {
+            assert_eq!(mon.get_data(id, Flags::P2P_ONLY).unwrap().sizes[1], 140);
+        }
+        mon.free(id).unwrap();
         mon.finalize(rank).unwrap();
     });
 }

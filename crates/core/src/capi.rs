@@ -287,6 +287,53 @@ pub fn MPI_M_rootgather_data(
     })
 }
 
+/// Seal the session's current epoch window and report its totals (epoch
+/// index, events, bytes).  Legal on an **active** session — the live
+/// introspection primitive; recording continues into the next window.
+/// Local call; see [`crate::Monitoring::advance_window`].
+pub fn MPI_M_window_advance(msid: Msid, epoch: &mut u64, events: &mut u64, bytes: &mut u64) -> i32 {
+    with_env(|mon| {
+        let delta = mon.advance_window(msid)?;
+        *epoch = delta.epoch;
+        *events = delta.events;
+        *bytes = delta.bytes;
+        Ok(())
+    })
+}
+
+/// Seal every member's window and gather the deltas' matrices at `root`
+/// (live counterpart of [`MPI_M_rootgather_data`]; collective on an
+/// **active** session).  Root buffers must be at least `array_size²` long;
+/// non-roots may pass empty buffers.  `epoch` receives the sealed window's
+/// index on every rank.
+pub fn MPI_M_gather_window(
+    rank: &Rank,
+    msid: Msid,
+    root: i32,
+    epoch: &mut u64,
+    matrix_counts: &mut [u64],
+    matrix_sizes: &mut [u64],
+    flags: Flags,
+) -> i32 {
+    with_env(|mon| {
+        if root < 0 {
+            return Err(MonError::InvalidRoot);
+        }
+        let win = mon.gather_window(rank, msid, root as usize, flags)?;
+        *epoch = win.epoch;
+        let Some(data) = win.data else {
+            return Ok(());
+        };
+        let n2 = data.counts.order() * data.counts.order();
+        if matrix_counts.len() < n2 || matrix_sizes.len() < n2 {
+            return Err(MonError::InternalFail("root buffer too small".into()));
+        }
+        matrix_counts[..n2].copy_from_slice(data.counts.as_row_major());
+        matrix_sizes[..n2].copy_from_slice(data.sizes.as_row_major());
+        Ok(())
+    })
+}
+
 /// Flush this process's data to `filename.[rank].prof` (paper: `MPI_M_flush`).
 pub fn MPI_M_flush(msid: Msid, filename: &str, flags: Flags) -> i32 {
     with_env(|mon| mon.flush(msid, filename, flags))
@@ -374,6 +421,98 @@ mod tests {
             assert_eq!(MPI_M_finalize(rank), MPI_SUCCESS);
             // A second environment may follow a finalized one.
             assert_eq!(MPI_M_init(rank), MPI_SUCCESS);
+            assert_eq!(MPI_M_finalize(rank), MPI_SUCCESS);
+        });
+    }
+
+    #[test]
+    fn negative_root_is_rejected_before_any_cast() {
+        // Regression guard: a negative C root must return INVALID_ROOT from
+        // every root-taking entry point instead of wrapping to a huge usize.
+        let u = universe(2);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            assert_eq!(MPI_M_init(rank), MPI_SUCCESS);
+            let mut id = MPI_M_MSID_NULL;
+            assert_eq!(MPI_M_start(rank, &world, &mut id), MPI_SUCCESS);
+            let mut epoch = 0u64;
+            let (mut mc, mut ms) = (vec![0u64; 4], vec![0u64; 4]);
+            for bad_root in [-1, i32::MIN] {
+                assert_eq!(
+                    MPI_M_gather_window(
+                        rank,
+                        id,
+                        bad_root,
+                        &mut epoch,
+                        &mut mc,
+                        &mut ms,
+                        MPI_M_ALL_COMM
+                    ),
+                    MPI_M_INVALID_ROOT
+                );
+            }
+            assert_eq!(MPI_M_suspend(id), MPI_SUCCESS);
+            for bad_root in [-1, i32::MIN] {
+                assert_eq!(
+                    MPI_M_rootgather_data(rank, id, bad_root, &mut mc, &mut ms, MPI_M_ALL_COMM),
+                    MPI_M_INVALID_ROOT
+                );
+                assert_eq!(
+                    MPI_M_rootflush(
+                        rank,
+                        id,
+                        bad_root,
+                        "/nonexistent/never-written",
+                        MPI_M_ALL_COMM
+                    ),
+                    MPI_M_INVALID_ROOT
+                );
+            }
+            assert_eq!(MPI_M_free(id), MPI_SUCCESS);
+            assert_eq!(MPI_M_finalize(rank), MPI_SUCCESS);
+        });
+    }
+
+    #[test]
+    fn windows_work_on_an_active_session() {
+        // The live-query path: windows advance and gather with NO suspend.
+        let u = universe(4);
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let n = world.size();
+            assert_eq!(MPI_M_init(rank), MPI_SUCCESS);
+            let mut id = MPI_M_MSID_NULL;
+            assert_eq!(MPI_M_start(rank, &world, &mut id), MPI_SUCCESS);
+            // ALL is rejected in slot-addressed paths with a typed error.
+            let (mut e, mut ev, mut b) = (0u64, 0u64, 0u64);
+            assert_eq!(
+                MPI_M_window_advance(MPI_M_ALL_MSID, &mut e, &mut ev, &mut b),
+                MPI_M_INVALID_MSID
+            );
+
+            rank.barrier(&world);
+            let mut epoch = 0u64;
+            let (mut mc, mut ms) = (vec![0u64; n * n], vec![0u64; n * n]);
+            assert_eq!(
+                MPI_M_gather_window(rank, id, 0, &mut epoch, &mut mc, &mut ms, MPI_M_COLL_ONLY),
+                MPI_SUCCESS
+            );
+            assert_eq!(epoch, 1, "first sealed window");
+            if world.rank() == 0 {
+                assert_eq!(mc.iter().sum::<u64>(), 8, "4-rank barrier: 2 rounds x 4 msgs");
+            }
+            // The gather's own control traffic was muted: a second,
+            // traffic-free window is empty at every rank.
+            rank.barrier(&world); // this barrier IS recorded (window 2)
+            assert_eq!(MPI_M_window_advance(id, &mut e, &mut ev, &mut b), MPI_SUCCESS);
+            assert_eq!(e, 2);
+            assert_eq!(ev, 2, "window 2 holds only the second barrier's sends");
+            // Session stays active and its totals keep both windows.
+            assert_eq!(MPI_M_suspend(id), MPI_SUCCESS);
+            let (mut c, mut s) = (vec![0u64; n], vec![0u64; n]);
+            assert_eq!(MPI_M_get_data(id, &mut c, &mut s, MPI_M_COLL_ONLY), MPI_SUCCESS);
+            assert_eq!(c.iter().sum::<u64>(), 4, "two barriers, gather traffic muted");
+            assert_eq!(MPI_M_free(id), MPI_SUCCESS);
             assert_eq!(MPI_M_finalize(rank), MPI_SUCCESS);
         });
     }

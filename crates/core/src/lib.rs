@@ -52,13 +52,15 @@
 //! provides the exact function names (`MPI_M_init`, `MPI_M_continue`, …)
 //! and constants on top of this API.
 
+pub mod accum;
 pub mod api;
 pub mod capi;
 pub mod error;
 pub mod flags;
 pub mod session;
 
-pub use api::{GatheredData, Monitoring, SessionInfo, SessionRow, TraceCounters};
+pub use accum::{PairAccum, PairCell, PairEntry};
+pub use api::{GatheredData, GatheredWindow, Monitoring, SessionInfo, SessionRow, TraceCounters};
 pub use error::{MonError, Result};
 pub use flags::Flags;
-pub use session::Msid;
+pub use session::{Msid, WindowDelta};

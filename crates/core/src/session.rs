@@ -1,9 +1,10 @@
-//! Session state: identifiers, per-kind traffic rows, slot table.
+//! Session state: identifiers, per-pair traffic accumulators, slot table.
 
 use std::collections::HashMap;
 
 use mim_mpisim::{Comm, PmlEvent};
 
+use crate::accum::{PairAccum, PairEntry};
 use crate::error::{MonError, Result};
 use crate::flags::Flags;
 
@@ -18,15 +19,25 @@ impl Msid {
     /// The paper's `MPI_M_ALL_MSID`: act on every live session.
     pub const ALL: Msid = Msid(u64::MAX);
 
+    /// Largest encodable slot: one below `ALL`'s low word, so no encoded id
+    /// can ever share `ALL`'s slot bits.
+    pub(crate) const MAX_SLOT: usize = (u32::MAX - 1) as usize;
+
     pub(crate) fn encode(slot: usize, generation: u32) -> Msid {
+        // A slot beyond the 32-bit field would silently spill into the
+        // generation bits and corrupt both halves of the id.
+        assert!(slot <= Self::MAX_SLOT, "session slot {slot} exceeds the 32-bit id space");
+        assert!(generation != u32::MAX, "the RETIRED generation must never be encoded");
         Msid(((generation as u64) << 32) | slot as u64)
     }
 
     pub(crate) fn slot(self) -> usize {
+        assert!(self != Msid::ALL, "ALL addresses every session, not slot 0xffff_ffff");
         (self.0 & 0xffff_ffff) as usize
     }
 
     pub(crate) fn generation(self) -> u32 {
+        assert!(self != Msid::ALL, "ALL has no generation");
         (self.0 >> 32) as u32
     }
 }
@@ -40,6 +51,26 @@ pub enum SessionState {
     Suspended,
 }
 
+/// One sealed epoch window of a session: everything this process recorded
+/// between the previous [`advance`](SessionData::advance_window) and this
+/// one.  Produced by [`crate::Monitoring::advance_window`] and shipped by
+/// [`crate::Monitoring::gather_window`] — the unit of live (no-suspend)
+/// introspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowDelta {
+    /// 1-based index of the sealed window (the session's epoch counter
+    /// after sealing).  Ranks advancing their windows through the same
+    /// collective calls stay in lockstep.
+    pub epoch: u64,
+    /// Per-destination traffic of the window, sorted by destination;
+    /// untouched pairs are absent.
+    pub entries: Vec<PairEntry>,
+    /// Messages recorded in the window (all kinds).
+    pub events: u64,
+    /// Bytes recorded in the window (all kinds).
+    pub bytes: u64,
+}
+
 /// One live session.
 pub(crate) struct SessionData {
     pub(crate) comm: Comm,
@@ -47,29 +78,53 @@ pub(crate) struct SessionData {
     /// send hot path.
     members: HashMap<usize, usize>,
     pub(crate) state: SessionState,
-    /// Messages sent by this process, per kind (p2p / coll / osc) and
-    /// destination communicator rank.
-    counts: [Vec<u64>; 3],
-    /// Bytes sent by this process, same indexing.
-    sizes: [Vec<u64>; 3],
+    /// Everything recorded since start/reset (what the suspended-data
+    /// accessors read).
+    total: PairAccum,
+    /// The current (unsealed) epoch window: recorded in parallel with
+    /// `total`, drained by [`SessionData::advance_window`].
+    window: PairAccum,
+    /// Number of sealed windows since start/reset.
+    pub(crate) epoch: u64,
     /// Total recorded events (all kinds), for the trace-counters API.
     pub(crate) events: u64,
     /// Total recorded bytes (all kinds), same.
     pub(crate) bytes: u64,
+    /// Events recorded in the current window.
+    pub(crate) window_events: u64,
+    /// Bytes recorded in the current window.
+    pub(crate) window_bytes: u64,
+    /// While set, [`SessionData::record`] drops events: the monitoring
+    /// plane mutes a session around its own control traffic (e.g. the
+    /// tree gather of a live window) so it does not observe itself.
+    pub(crate) muted: bool,
 }
 
 impl SessionData {
+    /// Session with the default threshold (test convenience; the live path
+    /// goes through [`SessionData::with_dense_limit`]).
+    #[cfg(test)]
     pub(crate) fn new(comm: Comm) -> Self {
+        Self::with_dense_limit(comm, PairAccum::DEFAULT_DENSE_LIMIT)
+    }
+
+    /// Session with an explicit dense/sparse threshold for its accumulators
+    /// (see [`crate::Monitoring::init_with_dense_limit`]).
+    pub(crate) fn with_dense_limit(comm: Comm, limit: usize) -> Self {
         let n = comm.size();
         let members = comm.group().iter().enumerate().map(|(r, &w)| (w, r)).collect();
         Self {
             comm,
             members,
             state: SessionState::Active,
-            counts: [vec![0; n], vec![0; n], vec![0; n]],
-            sizes: [vec![0; n], vec![0; n], vec![0; n]],
+            total: PairAccum::with_dense_limit(n, limit),
+            window: PairAccum::with_dense_limit(n, limit),
+            epoch: 0,
             events: 0,
             bytes: 0,
+            window_events: 0,
+            window_bytes: 0,
+            muted: false,
         }
     }
 
@@ -77,7 +132,7 @@ impl SessionData {
     /// members of the attached communicator — regardless of which
     /// communicator carried the message.
     pub(crate) fn record(&mut self, ev: &PmlEvent) {
-        if self.state != SessionState::Active {
+        if self.state != SessionState::Active || self.muted {
             return;
         }
         // The event's sender is this process; it is a member by construction
@@ -89,34 +144,52 @@ impl SessionData {
             return;
         }
         let k = Flags::kind_index(ev.kind);
-        self.counts[k][dst] += 1;
-        self.sizes[k][dst] += ev.bytes;
+        self.total.record(dst, k, ev.bytes);
+        self.window.record(dst, k, ev.bytes);
         self.events += 1;
         self.bytes += ev.bytes;
+        self.window_events += 1;
+        self.window_bytes += ev.bytes;
     }
 
-    /// Zero all recorded data.
+    /// Zero all recorded data, including the current window and the epoch
+    /// counter.
     pub(crate) fn reset(&mut self) {
-        for k in 0..3 {
-            self.counts[k].fill(0);
-            self.sizes[k].fill(0);
-        }
+        self.total.reset();
+        self.window.reset();
+        self.epoch = 0;
         self.events = 0;
         self.bytes = 0;
+        self.window_events = 0;
+        self.window_bytes = 0;
+    }
+
+    /// Seal the current epoch window: drain its entries, bump the epoch, and
+    /// start recording the next window.  Legal in any session state — the
+    /// whole point is that it needs no suspend barrier.
+    pub(crate) fn advance_window(&mut self) -> WindowDelta {
+        self.epoch += 1;
+        let entries = self.window.drain_entries();
+        let delta = WindowDelta {
+            epoch: self.epoch,
+            entries,
+            events: self.window_events,
+            bytes: self.window_bytes,
+        };
+        self.window_events = 0;
+        self.window_bytes = 0;
+        delta
     }
 
     /// This process's (counts, sizes) rows summed over the selected kinds.
     pub(crate) fn row(&self, flags: Flags) -> (Vec<u64>, Vec<u64>) {
-        let n = self.comm.size();
-        let mut counts = vec![0u64; n];
-        let mut sizes = vec![0u64; n];
-        for k in flags.selected_indices() {
-            for d in 0..n {
-                counts[d] += self.counts[k][d];
-                sizes[d] += self.sizes[k][d];
-            }
-        }
-        (counts, sizes)
+        self.total.row(flags)
+    }
+
+    /// Flag-summed sparse row of the session's total data (the gather wire
+    /// format; see [`PairAccum::sparse_row`]).
+    pub(crate) fn sparse_row(&self, flags: Flags) -> Vec<(u64, u64, u64)> {
+        self.total.sparse_row(flags)
     }
 }
 
@@ -149,6 +222,7 @@ impl SessionTable {
     pub(crate) const RETIRED: u32 = u32::MAX;
 
     pub(crate) fn new(max_sessions: usize) -> Self {
+        assert!(max_sessions <= Msid::MAX_SLOT, "slot indices must fit the id's 32-bit field");
         Self { slots: Vec::new(), generations: Vec::new(), max_sessions }
     }
 
@@ -187,6 +261,8 @@ impl SessionTable {
     }
 
     fn check(&self, msid: Msid) -> Result<()> {
+        // ALL is rejected *before* any slot decoding: its low word would
+        // alias slot 0xffff_ffff (Msid::slot asserts the same invariant).
         if msid == Msid::ALL {
             return Err(MonError::InvalidMsid);
         }
@@ -254,6 +330,28 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "exceeds the 32-bit id space")]
+    fn msid_encode_rejects_oversized_slot() {
+        // Regression: `slot as u64` used to spill into the generation bits,
+        // silently corrupting both halves of the id.
+        let _ = Msid::encode(1usize << 32, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 32-bit id space")]
+    fn msid_encode_rejects_all_aliasing_slot() {
+        // Regression: slot 0xffff_ffff would collide with ALL's low word.
+        let _ = Msid::encode(u32::MAX as usize, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ALL addresses every session")]
+    fn msid_slot_of_all_is_rejected() {
+        // Regression: ALL.slot() used to silently alias slot 0xffff_ffff.
+        let _ = Msid::ALL.slot();
+    }
+
+    #[test]
     fn records_members_only() {
         let mut s = SessionData::new(comm3());
         s.record(&ev(2, 100, MsgKind::P2pUser)); // member, comm rank 1
@@ -274,6 +372,7 @@ mod tests {
         assert_eq!(s.row(Flags::OSC_ONLY).1, vec![0, 0, 40]);
         assert_eq!(s.row(Flags::P2P_ONLY | Flags::COLL_ONLY).1, vec![0, 30, 0]);
         assert_eq!(s.row(Flags::ALL_COMM).0, vec![0, 2, 1]);
+        assert_eq!(s.sparse_row(Flags::ALL_COMM), vec![(1, 2, 30), (2, 1, 40)]);
     }
 
     #[test]
@@ -288,11 +387,55 @@ mod tests {
     }
 
     #[test]
+    fn muted_session_drops_events() {
+        let mut s = SessionData::new(comm3());
+        s.muted = true;
+        s.record(&ev(2, 10, MsgKind::P2pUser));
+        s.muted = false;
+        s.record(&ev(2, 5, MsgKind::P2pUser));
+        assert_eq!(s.row(Flags::ALL_COMM).1, vec![0, 5, 0]);
+        assert_eq!(s.events, 1);
+    }
+
+    #[test]
+    fn windows_seal_deltas_while_totals_accumulate() {
+        let mut s = SessionData::new(comm3());
+        s.record(&ev(2, 10, MsgKind::P2pUser));
+        let w1 = s.advance_window();
+        assert_eq!(w1.epoch, 1);
+        assert_eq!(w1.events, 1);
+        assert_eq!(w1.bytes, 10);
+        assert_eq!(w1.entries.len(), 1);
+        assert_eq!((w1.entries[0].dst, w1.entries[0].sizes[0]), (1, 10));
+
+        s.record(&ev(4, 30, MsgKind::Collective));
+        let w2 = s.advance_window();
+        assert_eq!(w2.epoch, 2);
+        assert_eq!(w2.bytes, 30);
+        assert_eq!(w2.entries.len(), 1, "window holds only its own delta");
+        assert_eq!(w2.entries[0].dst, 2);
+
+        // An empty window still advances the epoch.
+        let w3 = s.advance_window();
+        assert_eq!((w3.epoch, w3.events, w3.bytes), (3, 0, 0));
+        assert!(w3.entries.is_empty());
+
+        // Totals are unaffected by sealing.
+        assert_eq!(s.row(Flags::ALL_COMM).1, vec![0, 10, 30]);
+        assert_eq!((s.events, s.bytes), (2, 40));
+
+        // Reset zeroes the epoch counter too.
+        s.state = SessionState::Suspended;
+        s.reset();
+        assert_eq!(s.epoch, 0);
+    }
+
+    #[test]
     fn table_overflow_and_stale_ids() {
         let mut t = SessionTable::new(2);
         let a = t.insert(SessionData::new(comm3())).unwrap();
         let _b = t.insert(SessionData::new(comm3())).unwrap();
-        assert_eq!(t.insert(SessionData::new(comm3())), Err(MonError::SessionOverflow));
+        assert_eq!(t.insert(SessionData::new(comm3())).err(), Some(MonError::SessionOverflow));
         t.remove(a).unwrap();
         let c = t.insert(SessionData::new(comm3())).unwrap();
         // Slot is reused but the old id is stale.

@@ -19,12 +19,14 @@
 
 mod extra;
 mod helpers;
+mod tree;
 mod varcount;
 
 pub use extra::{
     allgather_recursive_doubling, bcast_binary_segmented, reduce_scatter_block, scan_inclusive,
 };
 pub use helpers::{binomial_peers, combine, vrank_of, world_of_vrank};
+pub use tree::gather_tree_kary;
 pub use varcount::{allgatherv, gatherv, scatterv};
 
 use crate::comm::Comm;

@@ -221,3 +221,59 @@ fn back_to_back_collectives_do_not_cross_match() {
         assert_eq!((a, b), (vec![1u8], vec![2u8]));
     });
 }
+
+#[test]
+fn gather_tree_collects_variable_rows_any_order() {
+    // Every rank contributes a different-length row (rank r sends r items);
+    // various arities and orders must all deliver rows[r] intact at the root.
+    for &n in SIZES {
+        for root in [0, n / 2, n - 1] {
+            for arity in [2, 3, 8] {
+                let u = universe(n);
+                u.launch(move |rank| {
+                    let world = rank.comm_world();
+                    let me = world.rank();
+                    let data: Vec<u64> = (0..me as u64).map(|i| me as u64 * 100 + i).collect();
+                    // A non-trivial deterministic order: root first, then
+                    // the remaining ranks reversed.
+                    let mut order = vec![root];
+                    order.extend((0..n).rev().filter(|&r| r != root));
+                    let out = gather_tree_kary(rank, &world, root, arity, &order, &data);
+                    if me == root {
+                        let rows = out.expect("root gets rows");
+                        assert_eq!(rows.len(), n);
+                        for (r, row) in rows.iter().enumerate() {
+                            let want: Vec<u64> =
+                                (0..r as u64).map(|i| r as u64 * 100 + i).collect();
+                            assert_eq!(row, &want, "n={n} root={root} arity={arity} r={r}");
+                        }
+                    } else {
+                        assert!(out.is_none());
+                    }
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn gather_tree_handles_empty_contributions() {
+    let u = universe(6);
+    u.launch(|rank| {
+        let world = rank.comm_world();
+        let me = world.rank();
+        let data = if me % 2 == 0 { vec![me as u64] } else { Vec::new() };
+        let order: Vec<usize> = (0..6).collect();
+        let out = gather_tree_kary(rank, &world, 0, 2, &order, &data);
+        if me == 0 {
+            let rows = out.expect("root gets rows");
+            for (r, row) in rows.iter().enumerate() {
+                if r % 2 == 0 {
+                    assert_eq!(row, &vec![r as u64]);
+                } else {
+                    assert!(row.is_empty());
+                }
+            }
+        }
+    });
+}

@@ -1246,6 +1246,24 @@ impl Rank {
         collectives::gather_linear(self, comm, root, data)
     }
 
+    /// Gather variable-size `u64` contributions at `root` along a k-ary
+    /// tree laid over an explicit rank `order` (`order[0]` must be `root`;
+    /// all ranks must pass identical `order` and `arity`).  Returns one row
+    /// per communicator rank at the root, `None` elsewhere.  Used by the
+    /// monitoring plane to aggregate sparse traffic rows along the machine
+    /// topology instead of funnelling every row through the root's mailbox.
+    pub fn gather_tree(
+        &self,
+        comm: &Comm,
+        root: usize,
+        arity: usize,
+        order: &[usize],
+        data: &[u64],
+    ) -> Option<Vec<Vec<u64>>> {
+        let _span = self.coll_span("gather_tree_kary", comm);
+        collectives::gather_tree_kary(self, comm, root, arity, order, data)
+    }
+
     /// Allgather equal-size contributions (ring).
     pub fn allgather<T: Scalar>(&self, comm: &Comm, data: &[T]) -> Vec<T> {
         let _span = self.coll_span("allgather_ring", comm);

@@ -107,6 +107,70 @@ pub fn monitored_reorder(
     ReorderOutcome { comm: opt_comm, k, reorder_cost_ns, mapping_wall_s }
 }
 
+/// Windowed variant of [`monitored_reorder`]: the session stays **active**
+/// for the whole monitored phase — no suspend barrier ever interrupts the
+/// application.  After each of `nwindows` monitored iterations the sealed
+/// epoch window is gathered at rank 0 along the topology-ordered tree
+/// ([`Monitoring::gather_window`]) and accumulated into the byte matrix;
+/// the permutation is then computed from the accumulated matrix exactly as
+/// in the strict path.  With the same traffic, one window and the strict
+/// suspend-then-gather path produce the same matrix, hence the same `k`.
+///
+/// `monitored_window(comm, w)` runs window `w`'s slice of the application
+/// (typically one iteration).
+///
+/// # Panics
+/// Panics if `nwindows == 0` or any monitoring call fails (caller-side
+/// session-discipline error).
+pub fn monitored_reorder_windowed(
+    rank: &Rank,
+    mon: &Monitoring,
+    comm: &Comm,
+    flags: Flags,
+    nwindows: usize,
+    mut monitored_window: impl FnMut(&Comm, usize),
+) -> ReorderOutcome {
+    assert!(nwindows > 0, "at least one monitored window is required");
+    let id = mon.start(rank, comm).expect("start monitoring session");
+    let n = comm.size();
+    let mut acc = if comm.rank() == 0 { Some(CommMatrix::zeros(n)) } else { None };
+    // The gathers are interleaved with application windows; their cost is
+    // part of the reordering overhead (Fig. 6's t2), the windows are not.
+    let mut gather_cost_ns = 0.0;
+    for w in 0..nwindows {
+        monitored_window(comm, w);
+        let t = rank.now_ns();
+        let gw = mon.gather_window(rank, id, 0, flags).expect("gather window at rank 0");
+        gather_cost_ns += rank.now_ns() - t;
+        if let (Some(acc), Some(data)) = (acc.as_mut(), gw.data) {
+            for i in 0..n {
+                for j in 0..n {
+                    acc.set(i, j, acc.get(i, j) + data.sizes.get(i, j));
+                }
+            }
+        }
+    }
+    let t0 = rank.now_ns();
+    let mut k_buf: Vec<u64> = vec![0; n];
+    let mut mapping_wall_s = 0.0;
+    if let Some(sizes) = acc {
+        let wall = Instant::now();
+        let k = compute_mapping(rank.machine(), rank.placement(), comm.group(), &sizes);
+        mapping_wall_s = wall.elapsed().as_secs_f64();
+        rank.compute_ns(mapping_wall_s * 1e9);
+        for (i, &ki) in k.iter().enumerate() {
+            k_buf[i] = ki as u64;
+        }
+    }
+    rank.bcast(comm, 0, &mut k_buf);
+    let k: Vec<usize> = k_buf.iter().map(|&v| v as usize).collect();
+    let opt_comm = rank.comm_split(comm, 0, k[comm.rank()] as i64);
+    let reorder_cost_ns = rank.now_ns() - t0 + gather_cost_ns;
+    mon.suspend(id).expect("suspend monitoring session");
+    mon.free(id).expect("free monitoring session");
+    ReorderOutcome { comm: opt_comm, k, reorder_cost_ns, mapping_wall_s }
+}
+
 /// Deterministic virtual-time charge for the mapping computation in the
 /// resilient reorder path, per cell of the (possibly shrunk) matrix.  The
 /// strict path measures wall-clock TreeMatch time and charges that; the
@@ -399,6 +463,64 @@ mod tests {
             assert_eq!(outcome.comm.size(), world.size());
             assert_eq!(outcome.comm.rank(), outcome.k[world.rank()]);
             assert!(outcome.reorder_cost_ns > 0.0);
+            mon.finalize(rank).unwrap();
+        });
+    }
+
+    #[test]
+    fn windowed_reorder_matches_strict_on_same_traffic() {
+        let u = cyclic_universe();
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let mon = Monitoring::init(rank).unwrap();
+            let bytes = 4 << 20;
+            // Strict path: suspend barrier, dense star-era gather semantics.
+            let strict = monitored_reorder(rank, &mon, &world, Flags::P2P_ONLY, |comm| {
+                pair_exchange(rank, comm, bytes)
+            });
+            // Windowed path, one window of identical traffic: the session
+            // stays active through the gather, yet the accumulated matrix —
+            // and hence the permutation — must come out the same.
+            let windowed =
+                monitored_reorder_windowed(rank, &mon, &world, Flags::P2P_ONLY, 1, |comm, _w| {
+                    pair_exchange(rank, comm, bytes)
+                });
+            assert_eq!(windowed.k, strict.k, "one window of the same traffic must map alike");
+            assert_eq!(windowed.comm.rank(), windowed.k[world.rank()]);
+            assert!(windowed.reorder_cost_ns > 0.0);
+            mon.finalize(rank).unwrap();
+        });
+    }
+
+    #[test]
+    fn windowed_reorder_accumulates_across_windows() {
+        let u = cyclic_universe();
+        u.launch(|rank| {
+            let world = rank.comm_world();
+            let mon = Monitoring::init(rank).unwrap();
+            // Each window exchanges with the pair partner; three windows
+            // accumulate into the same shape as one bigger exchange.
+            let outcome =
+                monitored_reorder_windowed(rank, &mon, &world, Flags::P2P_ONLY, 3, |comm, _w| {
+                    pair_exchange(rank, comm, 1 << 20)
+                });
+            let _ = inverse_permutation(&outcome.k);
+            assert_eq!(outcome.comm.size(), world.size());
+            assert_eq!(outcome.comm.rank(), outcome.k[world.rank()]);
+            // The pattern pairs must land on shared nodes, as in the strict
+            // path's mapping test.
+            let inv = inverse_permutation(&outcome.k);
+            let machine = rank.machine();
+            let placement = rank.placement();
+            for i in (0..8).step_by(2) {
+                assert_eq!(
+                    machine.node_of_core(placement.core_of(inv[i])),
+                    machine.node_of_core(placement.core_of(inv[i + 1])),
+                    "pattern pair ({i}, {}) split across nodes; k = {:?}",
+                    i + 1,
+                    outcome.k
+                );
+            }
             mon.finalize(rank).unwrap();
         });
     }

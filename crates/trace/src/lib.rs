@@ -118,6 +118,18 @@ pub enum TraceData {
         /// Raw session id (`u64::MAX` for all-session operations).
         msid: u64,
     },
+    /// A monitoring session sealed one epoch window (live introspection
+    /// without a suspend barrier).
+    Window {
+        /// Raw session id.
+        msid: u64,
+        /// 1-based index of the sealed window.
+        epoch: u64,
+        /// Messages recorded in the window (all kinds).
+        events: u64,
+        /// Bytes recorded in the window (all kinds).
+        bytes: u64,
+    },
     /// One wire-level retransmission: the previous attempt was dropped by
     /// the fault plan and the sender's ack timer fired.
     Retry {
@@ -432,6 +444,9 @@ fn describe(data: &TraceData) -> String {
         TraceData::CollBegin { name, comm, id } => format!("begin {name} comm={comm} coll#{id}"),
         TraceData::CollEnd { name, comm, id } => format!("end   {name} comm={comm} coll#{id}"),
         TraceData::Session { action, msid } => format!("session {action} msid={msid:#x}"),
+        TraceData::Window { msid, epoch, events, bytes } => {
+            format!("window #{epoch} sealed msid={msid:#x} {events} events {bytes}B")
+        }
         TraceData::Retry { dst, attempt, backoff_ns } => {
             format!("RETRY -> rank {dst} attempt {attempt} backoff {backoff_ns}ns")
         }
@@ -505,6 +520,13 @@ fn jsonl_line(track: &str, tid: usize, ev: &TraceEvent) -> String {
         TraceData::Session { action, msid } => {
             let _ = write!(s, "\"type\":\"session\",\"action\":\"{action}\",\"msid\":{msid}");
         }
+        TraceData::Window { msid, epoch, events, bytes } => {
+            let _ = write!(
+                s,
+                "\"type\":\"window\",\"msid\":{msid},\"epoch\":{epoch},\
+                 \"events\":{events},\"bytes\":{bytes}"
+            );
+        }
         TraceData::Retry { dst, attempt, backoff_ns } => {
             let _ = write!(
                 s,
@@ -551,6 +573,10 @@ fn chrome_line(tid: usize, ev: &TraceEvent) -> String {
         TraceData::Session { action, msid } => format!(
             "\"name\":\"session_{action}\",\"cat\":\"session\",\"ph\":\"i\",\"s\":\"t\",\
              \"args\":{{\"msid\":{msid}}}"
+        ),
+        TraceData::Window { msid, epoch, events, bytes } => format!(
+            "\"name\":\"window\",\"cat\":\"window\",\"ph\":\"i\",\"s\":\"t\",\"args\":{{\
+             \"msid\":{msid},\"epoch\":{epoch},\"events\":{events},\"bytes\":{bytes}}}"
         ),
         TraceData::Retry { dst, attempt, backoff_ns } => format!(
             "\"name\":\"retry\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"args\":{{\
@@ -628,6 +654,33 @@ mod tests {
         assert!(lines[1].contains("\"type\":\"session\""));
         assert!(lines.iter().all(|l| l.ends_with('}')));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn window_events_survive_both_exports() {
+        let dir = std::env::temp_dir().join("mim_trace_test_window");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("out.jsonl");
+        let tr = Tracer::with_sink(8, &jsonl).unwrap();
+        let h = tr.track("rank0");
+        h.record(1.0, TraceData::Window { msid: 0x1_0000_0000, epoch: 3, events: 12, bytes: 4096 });
+        tr.flush();
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(text.contains("\"type\":\"window\""), "bad jsonl: {text}");
+        assert!(text.contains("\"epoch\":3"), "bad jsonl: {text}");
+        assert!(text.contains("\"events\":12"), "bad jsonl: {text}");
+        assert!(text.contains("\"bytes\":4096"), "bad jsonl: {text}");
+        std::fs::remove_file(&jsonl).unwrap();
+
+        let chrome = dir.join("out.json");
+        let tr = Tracer::with_sink(8, &chrome).unwrap();
+        let h = tr.track("rank0");
+        h.record(1.0, TraceData::Window { msid: 7, epoch: 1, events: 2, bytes: 64 });
+        tr.flush();
+        let text = std::fs::read_to_string(&chrome).unwrap();
+        assert!(text.contains("\"cat\":\"window\""), "bad chrome: {text}");
+        assert!(text.contains("\"epoch\":1"), "bad chrome: {text}");
+        std::fs::remove_file(&chrome).unwrap();
     }
 
     #[test]

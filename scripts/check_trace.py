@@ -42,6 +42,7 @@ EVENT_FIELDS = {
     "coll_begin": {"name", "comm", "id"},
     "coll_end": {"name", "comm", "id"},
     "session": {"action", "msid"},
+    "window": {"msid", "epoch", "events", "bytes"},
     "des": {"rank", "op", "peer", "bytes"},
 }
 
@@ -137,6 +138,8 @@ def parse_chrome(text, errors):
         elif cat == "session":
             kind = "session"
             args["action"] = ev["name"].removeprefix("session_")
+        elif cat == "window":
+            kind = "window"
         elif cat == "des":
             kind = "des"
             args["op"] = ev["name"].removeprefix("des_")
