@@ -13,10 +13,13 @@
 //!   paper's Sec 7 outlook);
 //! * [`plan`] — static communication plans: the app kernels lowered into
 //!   `mim-analyze` programs for ahead-of-run verification;
+//! * [`builtin`] — the named plan table shared by the `mim-analyze` and
+//!   `mim-explore` command-line front-ends;
 //! * [`stats`] — means, confidence intervals, Welch's t-test (Fig 4's
 //!   statistics);
 //! * [`output`] — CSV and ASCII-chart emitters for the benchmark harness.
 
+pub mod builtin;
 pub mod cg;
 pub mod collbench;
 pub mod groups;

@@ -14,11 +14,8 @@
 
 use std::process::ExitCode;
 
-use mim_analyze::{analyze_program, program_from_json, Program, Report, Verdict};
-use mim_apps::collbench::CollectiveKind;
-use mim_apps::plan::{CgPlan, CollectivePlan, GroupedAllgatherPlan};
-use mim_apps::stencil::StencilConfig;
-use mim_mpisim::schedule;
+use mim_analyze::{analyze_program, program_from_json, Report, Verdict};
+use mim_apps::builtin::{built_in, Shape, PLANS};
 
 const USAGE: &str = "usage: mim-analyze <plan> [options]
        mim-analyze --plan-file <file.json> [--json]
@@ -34,79 +31,6 @@ options:
   --quiet          only set the exit status, print nothing on success
 
 exit status: 0 clean, 1 problems found, 2 usage error";
-
-/// Shape parameters shared by every built-in plan.
-struct Shape {
-    n: usize,
-    root: usize,
-    bytes: u64,
-    seg: u64,
-}
-
-const PLANS: &[&str] = &[
-    "bcast_binomial",
-    "bcast_binary",
-    "bcast_binary_segmented",
-    "reduce_binomial",
-    "reduce_binary",
-    "allgather_ring",
-    "barrier_dissemination",
-    "allreduce_recursive_doubling",
-    "alltoall_pairwise",
-    "stencil",
-    "cg",
-    "grouped_allgather",
-    "collbench_reduce_binary",
-    "collbench_bcast_binomial",
-];
-
-/// Largest divisor of `n` not exceeding `limit` (always ≥ 1).
-fn divisor_at_most(n: usize, limit: usize) -> usize {
-    (1..=limit.min(n)).rev().find(|d| n.is_multiple_of(*d)).unwrap_or(1)
-}
-
-/// Lower one named built-in plan at the given shape.
-fn built_in(name: &str, s: &Shape) -> Result<Program, String> {
-    use mim_analyze::CommPlan;
-    let (n, root, bytes) = (s.n, s.root, s.bytes);
-    if root >= n {
-        return Err(format!("--root {root} out of range for --n {n}"));
-    }
-    let plan = match name {
-        "bcast_binomial" => schedule::bcast_binomial(n, root, bytes).lower(),
-        "bcast_binary" => schedule::bcast_binary(n, root, bytes).lower(),
-        "bcast_binary_segmented" => schedule::bcast_binary_segmented(n, root, bytes, s.seg).lower(),
-        "reduce_binomial" => schedule::reduce_binomial(n, root, bytes).lower(),
-        "reduce_binary" => schedule::reduce_binary(n, root, bytes).lower(),
-        "allgather_ring" => schedule::allgather_ring(n, bytes).lower(),
-        "barrier_dissemination" => schedule::barrier_dissemination(n).lower(),
-        "allreduce_recursive_doubling" => schedule::allreduce_recursive_doubling(n, bytes).lower(),
-        "alltoall_pairwise" => schedule::alltoall_pairwise(n, bytes).lower(),
-        "stencil" => {
-            // Factor n into the squarest process grid and give each rank a
-            // 4x4 block.
-            let prows = divisor_at_most(n, n.isqrt());
-            let pcols = n / prows;
-            StencilConfig { rows: prows * 4, cols: pcols * 4, prows, pcols, iters: 3 }.lower()
-        }
-        "cg" => CgPlan { nprocs: n, iters: 25 }.lower(),
-        "grouped_allgather" => {
-            // Prefer several small groups; a prime n falls back to one
-            // group of n (a group of 1 would ring zero messages).
-            let d = divisor_at_most(n, 4.max(n.isqrt()));
-            let group_size = if d > 1 { d } else { n };
-            GroupedAllgatherPlan { nprocs: n, group_size, block_bytes: bytes }.lower()
-        }
-        "collbench_reduce_binary" => {
-            CollectivePlan { kind: CollectiveKind::ReduceBinary, nprocs: n, bytes }.lower()
-        }
-        "collbench_bcast_binomial" => {
-            CollectivePlan { kind: CollectiveKind::BcastBinomial, nprocs: n, bytes }.lower()
-        }
-        other => return Err(format!("unknown plan '{other}' (try --list)")),
-    };
-    Ok(plan)
-}
 
 fn emit(report: &Report, json: bool, quiet: bool) -> bool {
     let clean = report.is_clean() && matches!(report.verdict, Verdict::DeadlockFree);

@@ -47,12 +47,14 @@
 //! cannot be unwound from outside.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use mim_util::deque::{deque, Injector, Steal, Stealer, WorkerQueue};
 use mim_util::fiber::{self, Fiber, Resume};
 use mim_util::sync::{Mutex, Notifier};
+
+use crate::sched::{clamp_choice, Decision, PolicyHandle};
 
 /// Which engine `Universe::run_collect` uses to host rank code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +175,10 @@ pub(crate) struct ExecShared {
     /// them exclusive).
     stall_lock: Mutex<()>,
     workers: AtomicUsize,
+    /// Installed schedule policy: dispatch becomes single-worker and every
+    /// resume choice with several queued tasks is the policy's.  Set once
+    /// before launch; `None` keeps the work-stealing default.
+    policy: OnceLock<PolicyHandle>,
 }
 
 impl ExecShared {
@@ -200,7 +206,14 @@ impl ExecShared {
             shutdown: AtomicBool::new(false),
             stall_lock: Mutex::new(()),
             workers: AtomicUsize::new(0),
+            policy: OnceLock::new(),
         })
+    }
+
+    /// Install a schedule policy before launch (later calls are ignored —
+    /// a scheduler's policy cannot change mid-run).
+    pub(crate) fn set_policy(&self, policy: PolicyHandle) {
+        let _ = self.policy.set(policy);
     }
 
     /// A park handle for task `index` (installed into its rank's mailbox).
@@ -370,7 +383,9 @@ pub(crate) fn run_tasks(
 ) -> Vec<Option<Box<dyn std::any::Any + Send>>> {
     let n = bodies.len();
     assert_eq!(n, exec.tasks.len(), "one body per task slot");
-    let workers = worker_count(n);
+    // Under a schedule policy dispatch must be sequential — one worker —
+    // so the policy's resume choices are the *only* source of interleaving.
+    let workers = if exec.policy.get().is_some() { 1 } else { worker_count(n) };
     let fibers: Vec<Mutex<Option<Fiber>>> =
         bodies.into_iter().map(|b| Mutex::new(Some(Fiber::new(stack_size, b)))).collect();
     let payloads: Vec<Mutex<Option<Box<dyn std::any::Any + Send>>>> =
@@ -404,18 +419,23 @@ pub(crate) fn run_tasks(
                 .spawn_scoped(scope, move || worker_loop(&exec, q, fibers, payloads))
                 .unwrap_or_else(|e| panic!("failed to spawn executor worker: {e}"));
         }
+        let suspended = exec.policy.get().is_some_and(|p| p.virtual_watchdog());
         let exec = Arc::clone(exec);
         std::thread::Builder::new()
             .name("mim-exec-watchdog".into())
-            .spawn_scoped(scope, move || watchdog_loop(&exec, deadline))
+            .spawn_scoped(scope, move || watchdog_loop(&exec, deadline, suspended))
             .unwrap_or_else(|e| panic!("failed to spawn executor watchdog: {e}"));
     });
     payloads.into_iter().map(Mutex::into_inner).collect()
 }
 
 /// Find the next runnable task: own queue (LIFO), then the injector, then
-/// steal from peers.
+/// steal from peers.  With a schedule policy installed, the policy picks
+/// instead.
 fn next_task(exec: &ExecShared, local: &mut WorkerQueue) -> Option<usize> {
+    if let Some(policy) = exec.policy.get() {
+        return next_task_policed(exec, local, policy);
+    }
     if let Some(t) = local.pop() {
         return Some(t);
     }
@@ -434,6 +454,41 @@ fn next_task(exec: &ExecShared, local: &mut WorkerQueue) -> Option<usize> {
         }
         if !retry {
             return None;
+        }
+    }
+}
+
+/// Deterministic dispatch under a schedule policy (the pool runs a single
+/// worker): gather every queued task — local queue first, then the injector
+/// in FIFO order — and let the policy pick which resumes.  The slate is
+/// offered in canonical dispatch order (index 0 = what the un-policed
+/// scheduler would run next); unchosen tasks return to the injector in
+/// slate order, so the next decision sees them in a stable order.
+fn next_task_policed(
+    exec: &ExecShared,
+    local: &mut WorkerQueue,
+    policy: &PolicyHandle,
+) -> Option<usize> {
+    let mut cands = Vec::new();
+    while let Some(t) = local.pop() {
+        cands.push(t);
+    }
+    while let Some(t) = exec.injector.pop() {
+        cands.push(t);
+    }
+    match cands.len() {
+        0 => None,
+        1 => Some(cands[0]),
+        n => {
+            let i = clamp_choice(
+                policy.choose(Decision::TaskResume { candidates: &cands, racy: &[] }),
+                n,
+            );
+            let chosen = cands.remove(i);
+            for t in cands {
+                exec.injector.push(t);
+            }
+            Some(chosen)
         }
     }
 }
@@ -559,7 +614,14 @@ fn run_one(
 /// scheduling cannot preempt or unwind it, so report and abort — the
 /// analogue of the deadline panic the waiting ranks would have raised under
 /// thread-per-rank.
-fn watchdog_loop(exec: &Arc<ExecShared>, deadline: Duration) {
+///
+/// `suspended` disables the abort: an external [`crate::sched`] policy may
+/// legitimately hold tasks parked (or a running task un-resumed) for many
+/// wall-clock deadlines while it explores a schedule, which is
+/// indistinguishable from starvation out here.  The deterministic stall
+/// resolver — virtual order, no wall clock — still fires deadline wakes, so
+/// real deadlocks keep surfacing as `deadlock:` panics.
+fn watchdog_loop(exec: &Arc<ExecShared>, deadline: Duration, suspended: bool) {
     loop {
         let seen = exec.progress.epoch();
         let seen_activity = exec.activity.load(Ordering::Relaxed);
@@ -582,6 +644,9 @@ fn watchdog_loop(exec: &Arc<ExecShared>, deadline: Duration) {
             .collect();
         let waiting = exec.parked.load(Ordering::SeqCst) > 0 || !exec.injector.is_empty();
         if !running.is_empty() && waiting {
+            if suspended {
+                continue;
+            }
             eprintln!(
                 "mim-mpisim: starvation: rank task(s) {running:?} ran for {deadline:?} \
                  without yielding while other ranks wait; a fiber cannot be preempted \

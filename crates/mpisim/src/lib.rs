@@ -39,6 +39,7 @@ pub mod nonblocking;
 pub mod osc;
 pub mod pml;
 pub mod runtime;
+pub mod sched;
 pub mod schedule;
 
 pub use comm::Comm;
@@ -52,6 +53,7 @@ pub use nonblocking::{waitall_recv, RecvRequest, SendRequest};
 pub use osc::Window;
 pub use pml::{LocalPmlHook, PmlEvent, PmlHook};
 pub use runtime::{Rank, RankAborted, SrcSel, Status, TagSel, Universe, UniverseConfig};
+pub use sched::{CanonicalPolicy, Decision, PolicyHandle, SchedulePolicy};
 pub use schedule::{ChannelTotals, Schedule, Step};
 
 /// The tracing subsystem (re-exported so downstream crates need no direct

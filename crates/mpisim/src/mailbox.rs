@@ -19,6 +19,7 @@ use mim_util::channel::{Receiver, RecvTimeoutError, TryRecvError};
 
 use crate::envelope::{Ctx, Envelope};
 use crate::exec::{ParkWake, ParkerHandle};
+use crate::sched::{clamp_choice, Decision, PolicyHandle, SchedulePolicy};
 
 /// How many ring events per track a mailbox panic appends to its message.
 const FLIGHT_EVENTS: usize = 20;
@@ -173,6 +174,51 @@ impl UnexpectedQueue {
         Some(env)
     }
 
+    /// Like [`UnexpectedQueue::take`], but when a wildcard receive has
+    /// several eligible channels the installed [`SchedulePolicy`] picks
+    /// which one wins (`rank` = the receiving world rank, decision
+    /// context).  Candidates are offered in head-arrival order, so a policy
+    /// answering 0 is bit-identical to the un-policed take.
+    pub(crate) fn take_policed(
+        &mut self,
+        pat: &MatchPattern,
+        rank: usize,
+        policy: &dyn SchedulePolicy,
+    ) -> Option<Envelope> {
+        let group_key = (pat.comm_id, pat.ctx);
+        let group = self.groups.get_mut(&group_key)?;
+        let chan = match (pat.src, pat.tag) {
+            (SrcSel::World(src), TagSel::Is(tag)) => {
+                group.chans.contains_key(&(src, tag)).then_some((src, tag))?
+            }
+            _ => {
+                let cands: Vec<(usize, u32)> =
+                    group.by_head.values().copied().filter(|&c| chan_matches(pat, c)).collect();
+                match cands.len() {
+                    0 => return None,
+                    1 => cands[0],
+                    n => {
+                        let i = policy.choose(Decision::WildcardTake { rank, candidates: &cands });
+                        cands[clamp_choice(i, n)]
+                    }
+                }
+            }
+        };
+        let fifo = group.chans.get_mut(&chan).expect("channel key came from the index");
+        let (seq, env) = fifo.pop_front().expect("empty channels are pruned");
+        group.by_head.remove(&seq);
+        if let Some(&(next_seq, _)) = fifo.front() {
+            group.by_head.insert(next_seq, chan);
+        } else {
+            group.chans.remove(&chan);
+            if group.chans.is_empty() {
+                self.groups.remove(&group_key);
+            }
+        }
+        self.len -= 1;
+        Some(env)
+    }
+
     /// Is any queued envelope matching `pat` (no removal)?
     pub fn contains_match(&self, pat: &MatchPattern) -> bool {
         let Some(group) = self.groups.get(&(pat.comm_id, pat.ctx)) else { return false };
@@ -263,6 +309,10 @@ pub struct Mailbox {
     /// instead of its worker thread; `None` (thread-per-rank) keeps the
     /// wall-clock `recv_timeout` path.
     parker: Option<ParkerHandle>,
+    /// Installed schedule policy plus the owning world rank (decision
+    /// context): wildcard takes with several eligible channels ask it which
+    /// one wins, and deadline panics carry its decision log.
+    policy: Option<(PolicyHandle, usize)>,
 }
 
 impl Mailbox {
@@ -277,6 +327,7 @@ impl Mailbox {
             last_wire_seq: HashMap::new(),
             dup_dropped: 0,
             parker: None,
+            policy: None,
         }
     }
 
@@ -290,6 +341,33 @@ impl Mailbox {
     /// deadlock panics).
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = Some(trace);
+    }
+
+    /// Install a schedule policy: wildcard receives with several eligible
+    /// channels consult it, and deadlock panics append its decision log so
+    /// a deadlock found mid-exploration stays replayable.
+    pub fn set_policy(&mut self, policy: PolicyHandle, world_rank: usize) {
+        self.policy = Some((policy, world_rank));
+    }
+
+    /// Take the earliest (or, under a policy, the chosen) queued envelope
+    /// matching `pat`.
+    fn take_unexpected(&mut self, pat: &MatchPattern) -> Option<Envelope> {
+        match &self.policy {
+            Some((policy, rank)) => self.unexpected.take_policed(pat, *rank, policy.as_ref()),
+            None => self.unexpected.take(pat),
+        }
+    }
+
+    /// The installed policy's decision log, or an empty string.  Deadline
+    /// panics append it after the flight-recorder dump: the log is the
+    /// schedule witness, without it a deadlock found during exploration
+    /// could not be replayed.
+    fn decision_dump(&self) -> String {
+        match self.policy.as_ref().and_then(|(p, _)| p.decision_log()) {
+            Some(log) => format!("\nschedule decisions (replay witness):\n{log}"),
+            None => String::new(),
+        }
     }
 
     /// The flight-recorder dump, or an empty string when tracing is off.
@@ -363,7 +441,7 @@ impl Mailbox {
         pat: &MatchPattern,
         deadline: Duration,
     ) -> Result<Envelope, RecvWaitError> {
-        if let Some(env) = self.unexpected.take(pat) {
+        if let Some(env) = self.take_unexpected(pat) {
             return Ok(env);
         }
         loop {
@@ -389,10 +467,10 @@ impl Mailbox {
         deadline: Duration,
     ) -> Result<(Envelope, bool), RecvWaitError> {
         loop {
-            if let Some(env) = self.unexpected.take(a) {
+            if let Some(env) = self.take_unexpected(a) {
                 return Ok((env, true));
             }
-            if let Some(env) = self.unexpected.take(b) {
+            if let Some(env) = self.take_unexpected(b) {
                 return Ok((env, false));
             }
             let env = self.wait_message(deadline)?;
@@ -412,14 +490,19 @@ impl Mailbox {
             Ok(env) => env,
             Err(RecvWaitError::Timeout) => panic!(
                 "deadlock: no message matching {pat:?} within {:?} \
-                 (override with MIM_DEADLINE_MS); {} unexpected messages queued:\n{}{}",
+                 (override with MIM_DEADLINE_MS); {} unexpected messages queued:\n{}{}{}",
                 self.deadline,
                 self.unexpected.len(),
                 self.unexpected.dump(16),
-                self.flight_dump()
+                self.flight_dump(),
+                self.decision_dump()
             ),
             Err(RecvWaitError::Disconnected) => {
-                panic!("all senders disconnected while waiting for {pat:?}{}", self.flight_dump())
+                panic!(
+                    "all senders disconnected while waiting for {pat:?}{}{}",
+                    self.flight_dump(),
+                    self.decision_dump()
+                )
             }
         }
     }
@@ -638,7 +721,107 @@ mod tests {
         e
     }
 
+    /// Test policy: scripted choices (canonical 0 past the script's end),
+    /// recording every decision it was offered.
+    #[derive(Debug, Default)]
+    struct ScriptedTest {
+        script: Vec<usize>,
+        at: std::sync::Mutex<usize>,
+        log: std::sync::Mutex<String>,
+    }
+
+    impl SchedulePolicy for ScriptedTest {
+        fn choose(&self, decision: Decision<'_>) -> usize {
+            let mut at = self.at.lock().unwrap();
+            let pick = self.script.get(*at).copied().unwrap_or(0);
+            *at += 1;
+            let mut log = self.log.lock().unwrap();
+            let _ = write!(log, "{}:{}/{};", decision.kind_code(), pick, decision.len());
+            pick
+        }
+
+        fn decision_log(&self) -> Option<String> {
+            Some(self.log.lock().unwrap().clone())
+        }
+    }
+
+    #[test]
+    fn policed_wildcard_picks_chosen_channel() {
+        use std::sync::Arc;
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx, Duration::from_secs(5));
+        // Choice 1 = second channel in head-arrival order (src 4), then
+        // canonical afterwards.
+        mb.set_policy(Arc::new(ScriptedTest { script: vec![1], ..Default::default() }), 9);
+        tx.send(env(3, 7, Ctx::Pt2pt, 1)).unwrap();
+        tx.send(env(4, 7, Ctx::Pt2pt, 2)).unwrap();
+        let p = pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any);
+        mb.iprobe(&p);
+        let got = mb.recv_match(&p);
+        assert_eq!(got.src_world, 4, "policy chose the later-arrival channel");
+        let got = mb.recv_match(&p);
+        assert_eq!(got.src_world, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule decisions (replay witness)")]
+    fn deadline_panic_attaches_decision_log() {
+        use std::sync::Arc;
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx, Duration::from_millis(10));
+        mb.set_policy(Arc::new(ScriptedTest::default()), 0);
+        // Two eligible channels force one recorded wildcard decision before
+        // the unmatched specific receive times out.
+        tx.send(env(1, 7, Ctx::Pt2pt, 1)).unwrap();
+        tx.send(env(2, 7, Ctx::Pt2pt, 2)).unwrap();
+        let any = pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any);
+        mb.iprobe(&any);
+        let _ = mb.recv_match(&any);
+        mb.recv_match(&pat(7, Ctx::Pt2pt, SrcSel::World(5), TagSel::Is(9)));
+    }
+
     props! {
+        /// Canonical-policy equivalence (the tentpole's bit-identity
+        /// anchor): under random interleavings, `take_policed` with the
+        /// always-0 policy delivers exactly what the un-policed `take`
+        /// delivers.
+        fn canonical_policed_take_equals_take(g) {
+            let policy = crate::sched::CanonicalPolicy;
+            let mut policed = UnexpectedQueue::new();
+            let mut plain = UnexpectedQueue::new();
+            let comms = [7u64, 8];
+            let ctxs = [Ctx::Pt2pt, Ctx::Coll];
+            let mut id = 0u64;
+            for _ in 0..g.gen_range(1usize..150) {
+                if g.gen_bool(0.55) {
+                    let e = marked(
+                        id,
+                        g.index(4),
+                        *g.choose(&comms),
+                        *g.choose(&ctxs),
+                        g.gen_range(0u32..3),
+                    );
+                    id += 1;
+                    policed.push(e.clone());
+                    plain.push(e);
+                } else {
+                    let p = pat(
+                        *g.choose(&comms),
+                        *g.choose(&ctxs),
+                        if g.any_bool() { SrcSel::Any } else { SrcSel::World(g.index(4)) },
+                        if g.any_bool() { TagSel::Any } else { TagSel::Is(g.gen_range(0u32..3)) },
+                    );
+                    let (a, b) = (policed.take_policed(&p, 0, &policy), plain.take(&p));
+                    assert_eq!(
+                        a.as_ref().map(|e| e.sent_at_ns),
+                        b.as_ref().map(|e| e.sent_at_ns),
+                        "canonical policy diverged from default take on {p:?}"
+                    );
+                }
+            }
+            assert_eq!(policed.len(), plain.len());
+        }
+
         /// The tentpole's equivalence oracle: random interleavings of
         /// pushes and take attempts — wildcard and specific src/tag over
         /// several comms and ctxs — must deliver identical messages in

@@ -25,6 +25,7 @@ use crate::fault::{
 use crate::mailbox::{self, Mailbox, MatchPattern, RecvWaitError};
 use crate::nic::NicCounters;
 use crate::pml::{LocalHookHandle, LocalHooks, LocalPmlHook, PmlEvent, PmlHook};
+use crate::sched::{clamp_choice, Decision, PolicyHandle};
 
 /// Source selector in *communicator ranks* (the public API counterpart of
 /// `MPI_ANY_SOURCE`).
@@ -88,6 +89,12 @@ pub struct UniverseConfig {
     /// fast path: the injector check is a single branch-on-`Option`
     /// (measured by the `chaos_overhead` microbench).
     pub injector: Option<Arc<dyn FaultInjector>>,
+    /// Optional schedule policy (see [`crate::sched`] and the `mim-explore`
+    /// crate): takes over the runtime's three nondeterminism points —
+    /// wildcard matching, task resume order, wire-delivery order.  `None`
+    /// keeps every hook a single branch-on-`Option`; the canonical policy
+    /// is bit-identical to `None`.
+    pub sched: Option<PolicyHandle>,
 }
 
 impl UniverseConfig {
@@ -119,6 +126,7 @@ impl UniverseConfig {
             task_stack_size: 256 << 10,
             tracer: Tracer::global(),
             injector: None,
+            sched: None,
         }
     }
 
@@ -131,6 +139,15 @@ impl UniverseConfig {
     /// Install a deterministic fault injector (builder style).
     pub fn with_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
         self.injector = Some(injector);
+        self
+    }
+
+    /// Install a schedule policy (builder style): the policy decides
+    /// wildcard matches, task resume order (Tasks mode, forced to one
+    /// worker) and wire-delivery order, and its decision log rides along in
+    /// deadlock panics.
+    pub fn with_schedule_policy(mut self, policy: PolicyHandle) -> Self {
+        self.sched = Some(policy);
         self
     }
 
@@ -162,6 +179,12 @@ pub(crate) struct Shared {
     /// [`ExecutorKind::Tasks`] mode.  Senders notify it after every
     /// delivery so a parked destination task gets rescheduled.
     pub(crate) exec: Option<Arc<ExecShared>>,
+    /// Wire-delivery staging area, used only under a schedule policy:
+    /// posted envelopes wait here as `(ticket, dst, env)` until the policy
+    /// releases them (see [`Shared::post`]).
+    stage: Mutex<std::collections::VecDeque<(u64, usize, Envelope)>>,
+    /// Ticket allocator for staged deliveries.
+    stage_ticket: AtomicU64,
 }
 
 impl Shared {
@@ -180,6 +203,14 @@ impl Shared {
     /// parked destination asleep until the stall resolver falsely times it
     /// out.  Returns whether the channel accepted the envelope.
     pub(crate) fn post(&self, dst: usize, env: Envelope) -> bool {
+        match &self.cfg.sched {
+            Some(policy) => self.post_policed(policy, dst, env),
+            None => self.post_direct(dst, env),
+        }
+    }
+
+    /// The un-policed delivery: send, then wake a parked destination task.
+    fn post_direct(&self, dst: usize, env: Envelope) -> bool {
         let delivered = self.senders[dst].send(env).is_ok();
         if delivered {
             if let Some(exec) = &self.exec {
@@ -190,6 +221,52 @@ impl Shared {
             }
         }
         delivered
+    }
+
+    /// Policed delivery: stage the envelope, then release staged envelopes
+    /// in policy-chosen order until the stage drains.  The slate is offered
+    /// in posting (FIFO) order, so the canonical index-0 answer releases
+    /// exactly as [`Shared::post_direct`] would — bit-identical; singleton
+    /// slates skip the policy call entirely.  A staged envelope can be
+    /// released by a *concurrent* poster's drain loop, in which case its
+    /// original poster reports success: the only false return is a send to
+    /// a gone mailbox (`launch_faulty` crash plans), which is not combined
+    /// with schedule exploration.
+    fn post_policed(&self, policy: &PolicyHandle, dst: usize, env: Envelope) -> bool {
+        let my_ticket = {
+            let mut stage = self.stage.lock();
+            let t = self.stage_ticket.fetch_add(1, Ordering::Relaxed);
+            stage.push_back((t, dst, env));
+            t
+        };
+        let mut my_result = true;
+        // Pop under the lock, deliver outside it: `post_direct` may suspend
+        // the calling fiber in its fairness yield, and a suspended fiber
+        // must never hold the stage.
+        while let Some((ticket, d, e)) = self.stage_pop(policy) {
+            let delivered = self.post_direct(d, e);
+            if ticket == my_ticket {
+                my_result = delivered;
+            }
+        }
+        my_result
+    }
+
+    /// Take one staged envelope, consulting the policy when several are
+    /// pending.  The slate is in posting (FIFO) order.
+    fn stage_pop(&self, policy: &PolicyHandle) -> Option<(u64, usize, Envelope)> {
+        let mut stage = self.stage.lock();
+        match stage.len() {
+            0 => None,
+            1 => stage.pop_front(),
+            n => {
+                let slate: Vec<(usize, usize)> =
+                    stage.iter().map(|(_, d, e)| (e.src_world, *d)).collect();
+                let i =
+                    clamp_choice(policy.choose(Decision::WireDelivery { candidates: &slate }), n);
+                stage.remove(i)
+            }
+        }
     }
 }
 
@@ -240,6 +317,11 @@ impl Universe {
             }
             ExecutorKind::Threads => None,
         };
+        if let (Some(exec), Some(policy)) = (&exec, &cfg.sched) {
+            // Hand the policy to the scheduler before launch: dispatch
+            // becomes single-worker and resume order is the policy's.
+            exec.set_policy(Arc::clone(policy));
+        }
         let shared = Arc::new(Shared {
             senders,
             global_hooks: RwLock::new(vec![nic.clone() as Arc<dyn PmlHook>]),
@@ -249,6 +331,8 @@ impl Universe {
             alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
             faulty: AtomicBool::new(false),
             exec,
+            stage: Mutex::new(std::collections::VecDeque::new()),
+            stage_ticket: AtomicU64::new(0),
             cfg,
         });
         Self { shared, receivers: Mutex::new(Some(receivers)) }
@@ -519,6 +603,11 @@ impl Rank {
             // Task index == world rank: blocking receives park this rank's
             // task instead of its worker thread.
             mailbox.set_parker(exec.parker(world_rank));
+        }
+        if let Some(policy) = &shared.cfg.sched {
+            // Wildcard matches become the policy's choices, and deadline
+            // panics carry the policy's decision log.
+            mailbox.set_policy(Arc::clone(policy), world_rank);
         }
         let injector = shared.cfg.injector.clone();
         Self {
@@ -1252,6 +1341,13 @@ impl Rank {
     /// per communicator rank at the root, `None` elsewhere.  Used by the
     /// monitoring plane to aggregate sparse traffic rows along the machine
     /// topology instead of funnelling every row through the root's mailbox.
+    ///
+    /// # Panics
+    /// Panics when `arity < 2` — validated *here*, before the collective
+    /// allocates its tag or opens its span, so a bad arity fails every rank
+    /// with the same message instead of desynchronizing the collective
+    /// sequence mid-flight.  (The `MIM_GATHER_ARITY` env path clamps to 2;
+    /// direct callers get this check.)
     pub fn gather_tree(
         &self,
         comm: &Comm,
@@ -1260,6 +1356,13 @@ impl Rank {
         order: &[usize],
         data: &[u64],
     ) -> Option<Vec<Vec<u64>>> {
+        assert!(
+            arity >= 2,
+            "gather_tree: arity must be at least 2, got {arity} (rank {}); every caller \
+             must pass the same arity >= 2 on every rank — a k-ary tree with k < 2 has \
+             no parent/child structure",
+            self.world_rank
+        );
         let _span = self.coll_span("gather_tree_kary", comm);
         collectives::gather_tree_kary(self, comm, root, arity, order, data)
     }
