@@ -20,6 +20,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use crate::diag::{ChannelUse, Code, Diag, Loc, Report, Severity, Verdict, WaitEdge};
 use crate::plan::{CollKind, CommId, CommPlan, Op, Program, Src, Tag, WinId};
+use crate::race::{self, Determinism, IndependenceMap};
 
 /// Matching-scope channel key: `(comm, src, dst, tag)`.
 type ChanKey = (CommId, usize, usize, u32);
@@ -75,6 +76,8 @@ pub fn analyze_program(p: &Program) -> Report {
             nranks: p.nranks(),
             total_ops: p.total_ops(),
             verdict: Verdict::Malformed,
+            determinism: Determinism::Unknown,
+            independence: IndependenceMap::empty(p.nranks()),
             diags,
             channels: Vec::new(),
         };
@@ -159,6 +162,10 @@ struct Replay<'p> {
     /// Per win: one-sided accesses of the currently open epoch.
     epoch: Vec<Vec<Access>>,
     wildcard_sites: Vec<Loc>,
+    /// Arrival seq → the send op that produced it (for the match log).
+    send_locs: HashMap<u64, Loc>,
+    /// The canonical matching as `(send, recv)` location pairs.
+    matches: Vec<(Loc, Loc)>,
     diags: Vec<Diag>,
 }
 
@@ -179,6 +186,8 @@ impl<'p> Replay<'p> {
             fence_idx: vec![vec![0; n]; p.nwins()],
             epoch: vec![Vec::new(); p.nwins()],
             wildcard_sites: Vec::new(),
+            send_locs: HashMap::new(),
+            matches: Vec::new(),
             diags: Vec::new(),
         }
     }
@@ -211,11 +220,16 @@ impl<'p> Replay<'p> {
     }
 
     fn consume(&mut self, r: usize, seq: u64, key: ChanKey) {
-        let q = self.channels.get_mut(&key).expect("matched channel exists");
-        let (head_seq, _bytes) = q.pop_front().expect("matched channel is non-empty");
-        debug_assert_eq!(head_seq, seq, "wildcard match must take its channel's head");
-        if q.is_empty() {
-            self.channels.remove(&key);
+        if let Some(q) = self.channels.get_mut(&key) {
+            let head = q.pop_front();
+            debug_assert_eq!(
+                head.map(|(s, _)| s),
+                Some(seq),
+                "wildcard match must take its channel's head"
+            );
+            if q.is_empty() {
+                self.channels.remove(&key);
+            }
         }
         self.arrivals[r].remove(&seq);
     }
@@ -309,6 +323,7 @@ impl<'p> Replay<'p> {
                     let key = (comm, r, dst, tag);
                     let seq = self.next_seq;
                     self.next_seq += 1;
+                    self.send_locs.insert(seq, Loc { rank: r, step });
                     self.channels.entry(key).or_default().push_back((seq, bytes));
                     self.arrivals[dst].insert(seq, key);
                     let t = self.totals.entry(key).or_default();
@@ -327,7 +342,12 @@ impl<'p> Replay<'p> {
                         }
                     }
                     match self.find_match(r, comm, src, tag) {
-                        Some((seq, key)) => self.consume(r, seq, key),
+                        Some((seq, key)) => {
+                            if let Some(&s) = self.send_locs.get(&seq) {
+                                self.matches.push((s, Loc { rank: r, step }));
+                            }
+                            self.consume(r, seq, key);
+                        }
                         None => {
                             self.blocked[r] = Some(Blocked::Recv);
                             return wake;
@@ -341,7 +361,10 @@ impl<'p> Replay<'p> {
                         self.coll_occ[c].resize(occ + 1, Vec::new());
                     }
                     self.coll_occ[c][occ].push(Arrival { rank: r, step, kind, root });
-                    let members = self.p.comm_members(comm).expect("well-formed").len();
+                    // Well-formedness guarantees the comm exists; 0 never
+                    // equals a non-empty arrival count, so a (impossible)
+                    // miss simply parks the rank.
+                    let members = self.p.comm_members(comm).map_or(0, <[usize]>::len);
                     if self.coll_occ[c][occ].len() == members {
                         let arrivals = std::mem::take(&mut self.coll_occ[c][occ]);
                         self.check_coll_agreement(comm, occ, &arrivals);
@@ -403,8 +426,11 @@ impl<'p> Replay<'p> {
                         kind: CollKind::Barrier,
                         root: None,
                     });
-                    let comm = self.p.win_comm(win).expect("well-formed");
-                    let members = self.p.comm_members(comm).expect("well-formed").len();
+                    let members = self
+                        .p
+                        .win_comm(win)
+                        .and_then(|c| self.p.comm_members(c))
+                        .map_or(0, <[usize]>::len);
                     if self.fence_occ[w][occ].len() == members {
                         let arrivals = std::mem::take(&mut self.fence_occ[w][occ]);
                         self.close_epoch(win);
@@ -453,11 +479,14 @@ impl<'p> Replay<'p> {
             })
             .collect();
         preexisting.append(&mut self.diags);
+        let (determinism, independence) = race::race_pass(self.p, &self.matches, &mut preexisting);
         Report {
             plan: self.p.name().to_string(),
             nranks: n,
             total_ops: self.p.total_ops(),
             verdict,
+            determinism,
+            independence,
             diags: preexisting,
             channels,
         }
@@ -536,7 +565,10 @@ impl<'p> Replay<'p> {
         for &r in stalled {
             let step = self.pc[r];
             let mut out: Vec<(usize, String)> = Vec::new();
-            match self.blocked[r].expect("stalled ranks are blocked") {
+            // A stalled rank is always blocked (a runnable one would have
+            // been stepped); a miss just contributes no wait edges.
+            let Some(blocked) = self.blocked[r] else { continue };
+            match blocked {
                 Blocked::Recv => {
                     let Op::Recv { comm, src, tag } = self.p.rank_ops(r)[step] else {
                         unreachable!("Blocked::Recv parks at a Recv op");
@@ -607,7 +639,7 @@ impl<'p> Replay<'p> {
                     }
                 }
                 Blocked::Fence { win, occ } => {
-                    let comm = self.p.win_comm(win).expect("well-formed");
+                    let Some(comm) = self.p.win_comm(win) else { continue };
                     let arrived = move |b: Option<Blocked>| matches!(b, Some(Blocked::Fence { win: w, occ: o }) if w == win && o == occ);
                     self.missing_members(comm, &arrived, &mut out, &mut |missing, done| {
                         if done {
@@ -707,7 +739,7 @@ impl<'p> Replay<'p> {
         out: &mut Vec<(usize, String)>,
         on_missing: &mut dyn FnMut(usize, bool) -> Option<Diag>,
     ) {
-        let members = self.p.comm_members(comm).expect("well-formed").to_vec();
+        let Some(members) = self.p.comm_members(comm).map(<[usize]>::to_vec) else { return };
         for m in members {
             if arrived(self.blocked[m]) {
                 continue;
@@ -760,17 +792,18 @@ fn find_cycle(
             frame.1 += 1;
             match color.get(&next).copied() {
                 Some(Color::Grey) => {
-                    // Cycle: suffix of `path` starting at `next`.
-                    let pos = path.iter().position(|&(n, _)| n == next).expect("grey on path");
+                    // Cycle: suffix of `path` starting at `next`.  A grey
+                    // node is by construction on the path; a miss would
+                    // just keep searching.
+                    let Some(pos) = path.iter().position(|&(n, _)| n == next) else { continue };
                     let cycle_nodes: Vec<usize> = path[pos..].iter().map(|&(n, _)| n).collect();
                     let mut out = Vec::new();
                     for (i, &n) in cycle_nodes.iter().enumerate() {
                         let to = cycle_nodes[(i + 1) % cycle_nodes.len()];
-                        let what = edges[&n]
-                            .iter()
-                            .find(|&&(w, _)| w == to)
-                            .map(|(_, s)| s.clone())
-                            .expect("edge exists on cycle");
+                        let what = edges
+                            .get(&n)
+                            .and_then(|v| v.iter().find(|&&(w, _)| w == to))
+                            .map_or_else(String::new, |(_, s)| s.clone());
                         out.push(WaitEdge { rank: n, step: pc[n], waits_for: to, what });
                     }
                     return out;

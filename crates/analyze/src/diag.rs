@@ -10,6 +10,7 @@
 use std::fmt;
 
 use crate::plan::CommId;
+use crate::race::{Determinism, IndependenceMap};
 
 /// Stable diagnostic codes.  Codes are append-only: a released code never
 /// changes meaning, new checks take the next free number.
@@ -40,6 +41,27 @@ pub enum Code {
     /// Potential deadlock: the canonical replay stalled, but wildcard
     /// nondeterminism means another matching might progress.
     A010,
+    /// Wildcard match race: a wildcard receive has racing sends on at
+    /// least two distinct channels, so different schedules produce
+    /// different matchings.
+    A011,
+    /// Tag collision: two racing senders use the same tag toward one
+    /// wildcard, so arrival order alone picks the match.
+    A012,
+    /// Nondeterministic delivery: two wildcard receives of one rank can
+    /// swap their canonical matches, reordering the observable receives.
+    A013,
+    /// Collective/point-to-point interleaving hazard: a racing send sits
+    /// in a different collective phase than the wildcard it races.
+    A014,
+    /// Crossing send: a racing send is canonically matched elsewhere (or
+    /// nowhere) yet unordered with the wildcard — another schedule can
+    /// steal the match.
+    A015,
+    /// Result-visible race: the racing send also satisfies a later
+    /// receive of the same rank, so the race's outcome feeds a later
+    /// match.
+    A016,
 }
 
 impl Code {
@@ -56,6 +78,12 @@ impl Code {
             Code::A008 => "MIM-A008",
             Code::A009 => "MIM-A009",
             Code::A010 => "MIM-A010",
+            Code::A011 => "MIM-A011",
+            Code::A012 => "MIM-A012",
+            Code::A013 => "MIM-A013",
+            Code::A014 => "MIM-A014",
+            Code::A015 => "MIM-A015",
+            Code::A016 => "MIM-A016",
         }
     }
 
@@ -72,6 +100,12 @@ impl Code {
             Code::A008 => "conflicting one-sided accesses",
             Code::A009 => "epoch/fence error",
             Code::A010 => "potential deadlock under wildcard nondeterminism",
+            Code::A011 => "wildcard match race (racing sends)",
+            Code::A012 => "tag collision on a wildcard channel",
+            Code::A013 => "nondeterministic delivery reorders observable receives",
+            Code::A014 => "collective/point-to-point interleaving hazard",
+            Code::A015 => "send unordered with a crossing wildcard",
+            Code::A016 => "race outcome feeds a later match (result-visible)",
         }
     }
 }
@@ -227,6 +261,12 @@ pub struct Report {
     pub total_ops: usize,
     /// Where the plan sits in the deadlock lattice.
     pub verdict: Verdict,
+    /// The schedule-sensitivity axis, orthogonal to the deadlock lattice:
+    /// can different schedules produce different matchings?
+    pub determinism: Determinism,
+    /// The static independence relation over wildcard receive sites that
+    /// `mim-explore` consumes to prune its schedule search.
+    pub independence: IndependenceMap,
     /// All findings, in discovery order.
     pub diags: Vec<Diag>,
     /// Per-channel traffic observed by the replay, sorted by
@@ -245,10 +285,11 @@ impl Report {
         self.diags.iter().filter(|d| d.severity == Severity::Error)
     }
 
-    /// Render as a JSON document (schema `mim-analyze-report-v1`).
+    /// Render as a JSON document (schema `mim-analyze-report-v2`; v2 adds
+    /// the `determinism` and `independence` objects).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256 + 128 * self.diags.len());
-        s.push_str("{\"schema\":\"mim-analyze-report-v1\",");
+        s.push_str("{\"schema\":\"mim-analyze-report-v2\",");
         s.push_str(&format!(
             "\"plan\":{},\"nranks\":{},\"total_ops\":{},",
             json_string(&self.plan),
@@ -287,7 +328,28 @@ impl Report {
             }
             Verdict::DeadlockFree | Verdict::Malformed => {}
         }
-        s.push_str("},\"diags\":[");
+        s.push_str("},\"determinism\":{\"kind\":\"");
+        s.push_str(self.determinism.kind());
+        s.push('"');
+        if let Determinism::SchedSensitive { codes } = &self.determinism {
+            s.push_str(",\"codes\":[");
+            for (i, c) in codes.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("\"{c}\""));
+            }
+            s.push(']');
+        }
+        s.push_str(&format!(
+            "}},\"independence\":{{\"wildcard_sites\":{},\"benign\":{},\"racy\":{},\
+             \"hb_edges\":{}}}",
+            self.independence.wildcard_sites(),
+            self.independence.benign.len(),
+            self.independence.racy.len(),
+            self.independence.hb_edges
+        ));
+        s.push_str(",\"diags\":[");
         for (i, d) in self.diags.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -347,6 +409,26 @@ impl fmt::Display for Report {
                 }
             }
             Verdict::Malformed => writeln!(f, "malformed plan")?,
+        }
+        match &self.determinism {
+            Determinism::Deterministic => writeln!(f, "determinism: deterministic")?,
+            Determinism::SchedSensitive { codes } => writeln!(
+                f,
+                "determinism: schedule-sensitive ({})",
+                codes.iter().map(|c| c.as_str()).collect::<Vec<_>>().join(", ")
+            )?,
+            Determinism::Unknown => writeln!(f, "determinism: unknown")?,
+        }
+        if self.independence.wildcard_sites() > 0 {
+            writeln!(
+                f,
+                "independence: {} wildcard site{} ({} benign, {} racy), {} hb edges",
+                self.independence.wildcard_sites(),
+                if self.independence.wildcard_sites() == 1 { "" } else { "s" },
+                self.independence.benign.len(),
+                self.independence.racy.len(),
+                self.independence.hb_edges
+            )?;
         }
         for d in &self.diags {
             writeln!(f, "{d}")?;

@@ -15,11 +15,16 @@
 //!    semantics — per-`(comm, src, dst, tag)` FIFO channels, eager sends,
 //!    blocking receives (wildcards take the earliest arrival), barrier
 //!    collectives and fences;
-//! 3. the result is a [`Report`]: a verdict on the deadlock lattice
+//! 3. a vector-clock happens-before pass ([`race`]) classifies every
+//!    wildcard receive as benign or racy, yielding a determinism verdict
+//!    (`Deterministic | SchedSensitive`) orthogonal to the deadlock
+//!    lattice plus the [`IndependenceMap`] `mim-explore` uses to prune
+//!    its schedule search;
+//! 4. the result is a [`Report`]: a verdict on the deadlock lattice
 //!    (`DeadlockFree ⊑ PotentialDeadlock ⊑ DefiniteDeadlock`, with
-//!    `Malformed` at the bottom), *all* findings of the run as coded
-//!    diagnostics (`MIM-A001`…), and per-channel traffic totals — rendered
-//!    human-readable or as JSON.
+//!    `Malformed` at the bottom), the determinism axis, *all* findings of
+//!    the run as coded diagnostics (`MIM-A001`…), and per-channel traffic
+//!    totals — rendered human-readable or as JSON.
 //!
 //! Soundness is cross-validated against the simulator: property tests in
 //! `mim-mpisim` assert that a `DeadlockFree` verdict implies the DES
@@ -30,11 +35,13 @@ pub mod check;
 pub mod diag;
 pub mod json;
 pub mod plan;
+pub mod race;
 
 pub use check::{analyze, analyze_program};
 pub use diag::{ChannelUse, Code, Diag, Loc, Report, Severity, Verdict, WaitEdge};
 pub use json::{program_from_json, Json};
 pub use plan::{CollKind, CommId, CommPlan, Op, Program, Src, Tag, WinId, WORLD};
+pub use race::{Determinism, IndependenceMap};
 
 #[cfg(test)]
 mod tests {
@@ -289,7 +296,9 @@ mod tests {
         assert!(pretty.contains("definite deadlock"), "{pretty}");
         assert!(pretty.contains("MIM-A002"), "{pretty}");
         let json = r.to_json();
-        assert!(json.contains("\"schema\":\"mim-analyze-report-v1\""), "{json}");
+        assert!(json.contains("\"schema\":\"mim-analyze-report-v2\""), "{json}");
+        assert!(json.contains("\"determinism\":{\"kind\":\"deterministic\"}"), "{json}");
+        assert!(json.contains("\"independence\":{\"wildcard_sites\":0"), "{json}");
         assert!(json.contains("\"kind\":\"definite_deadlock\""), "{json}");
         assert!(json.contains("\"cycle\":["), "{json}");
         // The JSON must round-trip through our own parser.

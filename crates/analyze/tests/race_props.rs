@@ -1,0 +1,107 @@
+//! Corruption twins for the happens-before race pass: a plan whose
+//! wildcard is statically forced stays `Deterministic`, and a single
+//! targeted mutation — retargeting a send onto the wildcard's channel, or
+//! deleting the barrier that serialized two senders — flips exactly the
+//! corrupted twin to `SchedSensitive` with a concrete MIM-A011.  The
+//! pristine twin is re-checked in every case: the diagnostic must come
+//! from the corruption, never from the generator.
+
+use mim_analyze::{analyze_program, Code, CollKind, Determinism, Op, Program, Src, Tag, WORLD};
+
+fn push_barrier(p: &mut Program) {
+    for r in 0..p.nranks() {
+        p.push(r, Op::Coll { comm: WORLD, kind: CollKind::Barrier, root: None });
+    }
+}
+
+fn has_code(report: &mim_analyze::Report, code: Code) -> bool {
+    report.diags.iter().any(|d| d.code == code)
+}
+
+fn sched_sensitive_with(report: &mim_analyze::Report, code: Code) -> bool {
+    matches!(&report.determinism, Determinism::SchedSensitive { codes } if codes.contains(&code))
+}
+
+/// rank 0 posts one wildcard receive; rank 1 sends to it; rank 2 sends the
+/// same tag *elsewhere* (to rank 3, which receives it exactly).  The
+/// wildcard admits a single channel, so the match is FIFO-forced.
+fn forced_wildcard_plan(n: usize, tag: u32, bytes: u64) -> Program {
+    assert!(n >= 4);
+    let mut p = Program::new("forced-wildcard", n);
+    p.push(0, Op::Recv { comm: WORLD, src: Src::Any, tag: Tag::Is(tag) });
+    p.push(1, Op::Send { comm: WORLD, dst: 0, tag, bytes });
+    p.push(2, Op::Send { comm: WORLD, dst: 3, tag, bytes });
+    p.push(3, Op::Recv { comm: WORLD, src: Src::Rank(2), tag: Tag::Is(tag) });
+    p
+}
+
+/// rank 0 posts a wildcard, then a barrier serializes the suite, then a
+/// specific receive drains the late sender: rank 1 sends before the
+/// barrier, rank 2 after it.  The barrier's happens-before edge removes
+/// rank 2's send from the wildcard's racing set.
+fn serialized_senders_plan(n: usize, tag: u32, bytes: u64, serialized: bool) -> Program {
+    assert!(n >= 3);
+    let mut p = Program::new("serialized-senders", n);
+    p.push(0, Op::Recv { comm: WORLD, src: Src::Any, tag: Tag::Is(tag) });
+    p.push(1, Op::Send { comm: WORLD, dst: 0, tag, bytes });
+    if serialized {
+        push_barrier(&mut p);
+    }
+    p.push(2, Op::Send { comm: WORLD, dst: 0, tag, bytes });
+    p.push(0, Op::Recv { comm: WORLD, src: Src::Rank(2), tag: Tag::Is(tag) });
+    p
+}
+
+mim_util::props! {
+    /// Retargeting the unrelated send onto the wildcard's destination
+    /// creates a second racing channel: the corrupted twin (and only it)
+    /// turns `SchedSensitive` with an MIM-A011 naming the racing sends.
+    fn retargeted_send_races_the_wildcard(g) {
+        let n = g.gen_range(4usize..9);
+        let tag = g.gen_range(0u32..4);
+        let bytes = g.gen_range(1u64..4096);
+
+        let pristine = analyze_program(&forced_wildcard_plan(n, tag, bytes));
+        assert!(
+            matches!(pristine.determinism, Determinism::Deterministic),
+            "pristine twin not deterministic: {pristine}"
+        );
+        assert!(pristine.independence.wildcard_is_benign(0, 0), "{pristine}");
+        assert!(!has_code(&pristine, Code::A011), "{pristine}");
+
+        // The same ops with rank 2's send redirected at the wildcard.
+        let mut corrupted = Program::new("forced-wildcard", n);
+        corrupted.push(0, Op::Recv { comm: WORLD, src: Src::Any, tag: Tag::Is(tag) });
+        corrupted.push(1, Op::Send { comm: WORLD, dst: 0, tag, bytes });
+        corrupted.push(2, Op::Send { comm: WORLD, dst: 0, tag, bytes });
+        corrupted.push(3, Op::Recv { comm: WORLD, src: Src::Rank(2), tag: Tag::Is(tag) });
+        let report = analyze_program(&corrupted);
+        assert!(has_code(&report, Code::A011), "retargeted send not flagged: {report}");
+        assert!(
+            sched_sensitive_with(&report, Code::A011),
+            "verdict axis missing the race: {report}"
+        );
+        assert!(!report.independence.wildcard_is_benign(0, 0), "{report}");
+    }
+
+    /// Two senders racing for one wildcard are an MIM-A011 — until a
+    /// barrier between them serializes the race, at which point the
+    /// diagnostic disappears and the site is proven benign.
+    fn interposed_barrier_serializes_the_race(g) {
+        let n = g.gen_range(3usize..9);
+        let tag = g.gen_range(0u32..4);
+        let bytes = g.gen_range(1u64..4096);
+
+        let racy = analyze_program(&serialized_senders_plan(n, tag, bytes, false));
+        assert!(has_code(&racy, Code::A011), "unserialized race not flagged: {racy}");
+        assert!(sched_sensitive_with(&racy, Code::A011), "{racy}");
+
+        let serial = analyze_program(&serialized_senders_plan(n, tag, bytes, true));
+        assert!(!has_code(&serial, Code::A011), "barrier did not clear the race: {serial}");
+        assert!(
+            matches!(serial.determinism, Determinism::Deterministic),
+            "serialized twin not deterministic: {serial}"
+        );
+        assert!(serial.independence.wildcard_is_benign(0, 0), "{serial}");
+    }
+}

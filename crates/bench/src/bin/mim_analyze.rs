@@ -14,8 +14,9 @@
 
 use std::process::ExitCode;
 
-use mim_analyze::{analyze_program, program_from_json, Report, Verdict};
+use mim_analyze::{analyze_program, program_from_json, Program, Report, Verdict};
 use mim_apps::builtin::{built_in, Shape, PLANS};
+use mim_explore::plans::{wildcard_clean, wildcard_race};
 
 const USAGE: &str = "usage: mim-analyze <plan> [options]
        mim-analyze --plan-file <file.json> [--json]
@@ -27,17 +28,62 @@ options:
   --root <rank>    root for rooted plans      (default 0)
   --bytes <bytes>  payload size               (default 4096)
   --seg <bytes>    segment size for segmented plans (default bytes/4)
+  --races          also print the per-site happens-before race breakdown
   --json           emit the JSON report instead of text
   --quiet          only set the exit status, print nothing on success
 
 exit status: 0 clean, 1 problems found, 2 usage error";
 
-fn emit(report: &Report, json: bool, quiet: bool) -> bool {
+/// Wildcard demo plans (shared with `mim-explore`) that the built-in table
+/// does not know; named analysis accepts them so the determinism verdicts
+/// of both tools can be compared on the same programs.
+const WILDCARD_PLANS: &[&str] = &["wildcard_race", "wildcard_clean"];
+
+/// Resolve a plan name through the shared built-in table plus the
+/// wildcard demo plans.
+fn resolve(name: &str, s: &Shape) -> Result<Program, String> {
+    match name {
+        "wildcard_race" => {
+            if s.n < 3 {
+                return Err(format!("wildcard_race needs --n >= 3, got {}", s.n));
+            }
+            Ok(wildcard_race(s.n))
+        }
+        "wildcard_clean" => {
+            if s.n < 2 {
+                return Err(format!("wildcard_clean needs --n >= 2, got {}", s.n));
+            }
+            Ok(wildcard_clean(s.n))
+        }
+        other => built_in(other, s),
+    }
+}
+
+/// The `--races` pretty-mode breakdown: one line per wildcard receive site
+/// with its static classification.
+fn print_races(report: &Report) {
+    println!(
+        "races: {} wildcard site(s), {} hb edge(s)",
+        report.independence.wildcard_sites(),
+        report.independence.hb_edges
+    );
+    for &(rank, step) in &report.independence.benign {
+        println!("  rank {rank} step {step}: benign (reorderings cannot change the outcome)");
+    }
+    for &(rank, step) in &report.independence.racy {
+        println!("  rank {rank} step {step}: racy (schedule chooses the match)");
+    }
+}
+
+fn emit(report: &Report, races: bool, json: bool, quiet: bool) -> bool {
     let clean = report.is_clean() && matches!(report.verdict, Verdict::DeadlockFree);
     if json {
         println!("{}", report.to_json());
     } else if !quiet || !clean {
         println!("{report}");
+        if races {
+            print_races(report);
+        }
     }
     clean
 }
@@ -48,6 +94,7 @@ fn run() -> Result<bool, String> {
     let mut plan_file: Option<String> = None;
     let mut all = false;
     let mut list = false;
+    let mut races = false;
     let mut json = false;
     let mut quiet = false;
     let mut shape = Shape { n: 8, root: 0, bytes: 4096, seg: 0 };
@@ -61,6 +108,7 @@ fn run() -> Result<bool, String> {
             "--help" | "-h" => return Err(String::new()),
             "--list" => list = true,
             "--all" => all = true,
+            "--races" => races = true,
             "--json" => json = true,
             "--quiet" => quiet = true,
             "--plan-file" => plan_file = Some(value("--plan-file")?.to_string()),
@@ -85,7 +133,7 @@ fn run() -> Result<bool, String> {
     }
 
     if list {
-        for p in PLANS {
+        for p in PLANS.iter().chain(WILDCARD_PLANS) {
             println!("{p}");
         }
         return Ok(true);
@@ -94,7 +142,7 @@ fn run() -> Result<bool, String> {
         let text =
             std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let program = program_from_json(&text).map_err(|e| format!("{path}: {e}"))?;
-        return Ok(emit(&analyze_program(&program), json, quiet));
+        return Ok(emit(&analyze_program(&program), races, json, quiet));
     }
     if all {
         let mut clean = true;
@@ -106,8 +154,9 @@ fn run() -> Result<bool, String> {
             } else {
                 let status = if report.is_clean() { "ok" } else { "FAIL" };
                 println!(
-                    "{status:4} {:10} {} ({} ranks, {} ops)",
+                    "{status:4} {:10} {:14} {} ({} ranks, {} ops)",
                     report.verdict.kind(),
+                    report.determinism.kind(),
                     report.plan,
                     report.nranks,
                     report.total_ops
@@ -121,12 +170,12 @@ fn run() -> Result<bool, String> {
             clean &= report.is_clean() && matches!(report.verdict, Verdict::DeadlockFree);
         }
         if json {
-            println!("{{\"schema\":\"mim-analyze-batch-v1\",\"reports\":[{}]}}", reports.join(","));
+            println!("{{\"schema\":\"mim-analyze-batch-v2\",\"reports\":[{}]}}", reports.join(","));
         }
         return Ok(clean);
     }
     match plan_name {
-        Some(name) => Ok(emit(&analyze_program(&built_in(&name, &shape)?), json, quiet)),
+        Some(name) => Ok(emit(&analyze_program(&resolve(&name, &shape)?), races, json, quiet)),
         None => Err(String::new()),
     }
 }

@@ -14,10 +14,10 @@
 
 use std::process::ExitCode;
 
-use mim_analyze::{analyze_program, Program};
+use mim_analyze::{analyze_program, Determinism, Program};
 use mim_apps::builtin::{built_in, Shape, PLANS};
 use mim_explore::plans::{wildcard_clean, wildcard_race};
-use mim_explore::{explore, replay, Budget, Outcome, Witness};
+use mim_explore::{explore, explore_with, replay, Budget, Outcome, Witness};
 
 const USAGE: &str = "usage: mim-explore <plan> [options]
        mim-explore --replay <witness.json>
@@ -63,9 +63,72 @@ fn resolve(name: &str, s: &Shape) -> Result<Program, String> {
     }
 }
 
+/// Cross-check the static determinism verdict against both exploration
+/// passes.  Any violation is an internal error (exit 2), never a verdict.
+fn check_consistency(
+    name: &str,
+    analyzer: &str,
+    determinism: &Determinism,
+    pruned: &Outcome,
+    unpruned: &Outcome,
+) -> Result<(), String> {
+    let deterministic = matches!(determinism, Determinism::Deterministic);
+    match (pruned, unpruned) {
+        (Outcome::DefiniteDeadlock { .. }, Outcome::ExploredClean { .. })
+        | (Outcome::ExploredClean { .. }, Outcome::DefiniteDeadlock { .. }) => {
+            return Err(format!(
+                "{name}: pruned and unpruned exploration disagree on the outcome \
+                 (pruning changed an answer)"
+            ));
+        }
+        (
+            Outcome::DefiniteDeadlock { witness: a, .. },
+            Outcome::DefiniteDeadlock { witness: b, .. },
+        ) => {
+            if a != b {
+                return Err(format!(
+                    "{name}: pruned and unpruned exploration found different witnesses"
+                ));
+            }
+        }
+        (Outcome::ExploredClean { .. }, Outcome::ExploredClean { .. }) => {}
+    }
+    if pruned.schedules() > unpruned.schedules() {
+        return Err(format!(
+            "{name}: pruned exploration ran more schedules ({}) than unpruned ({})",
+            pruned.schedules(),
+            unpruned.schedules()
+        ));
+    }
+    if deterministic {
+        // A statically deterministic plan has one behavior: a witness is
+        // only admissible when the analyzer already proved the deadlock,
+        // and the pruned DFS must decide in a single schedule.
+        if matches!(pruned, Outcome::DefiniteDeadlock { .. }) && analyzer != "definite_deadlock" {
+            return Err(format!(
+                "{name}: statically deterministic yet exploration produced a witness \
+                 the analyzer did not predict"
+            ));
+        }
+        if pruned.schedules() != 1 {
+            return Err(format!(
+                "{name}: statically deterministic yet pruned exploration needed {} schedules",
+                pruned.schedules()
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Explore one plan; returns whether it stayed clean.  `name` is the CLI
 /// plan name (what `--replay` resolves), which can differ from the
 /// program's own display name.
+///
+/// The plan is explored twice: once consuming the analyzer's static
+/// independence map (benign wildcard sites never seed backtrack points)
+/// and once unpruned.  The two passes — and the static determinism
+/// verdict — must agree, or the run fails loudly: pruning that changes an
+/// answer is a soundness bug, not a speedup.
 fn run_plan(
     name: &str,
     program: &Program,
@@ -75,8 +138,13 @@ fn run_plan(
     json: bool,
     quiet: bool,
 ) -> Result<bool, String> {
-    let analyzer = analyze_program(program).verdict.kind();
-    let outcome = explore(program, budget)?;
+    let report = analyze_program(program);
+    let analyzer = report.verdict.kind();
+    let determinism = report.determinism.kind();
+    let outcome = explore_with(program, budget, Some(&report.independence))?;
+    let unpruned = explore(program, budget)?;
+    check_consistency(name, analyzer, &report.determinism, &outcome, &unpruned)?;
+    let schedules_unpruned = unpruned.schedules();
     match &outcome {
         Outcome::DefiniteDeadlock { witness, schedules } => {
             let mut w = (**witness).clone();
@@ -91,14 +159,16 @@ fn run_plan(
             }
             if json {
                 println!(
-                    "{{\"schema\":\"mim-explore-report-v1\",\"plan\":{},\"analyzer\":\"{analyzer}\",\
-                     \"outcome\":\"definite_deadlock\",\"schedules\":{schedules},\"witness\":{}}}",
+                    "{{\"schema\":\"mim-explore-report-v2\",\"plan\":{},\"analyzer\":\"{analyzer}\",\
+                     \"determinism\":\"{determinism}\",\"outcome\":\"definite_deadlock\",\
+                     \"schedules\":{schedules},\"schedules_unpruned\":{schedules_unpruned},\
+                     \"witness\":{}}}",
                     mim_analyze::diag::json_string(name),
                     w.to_json()
                 );
             } else {
                 println!(
-                    "plan {} ({} ranks, {} ops): analyzer said {analyzer}",
+                    "plan {} ({} ranks, {} ops): analyzer said {analyzer}, {determinism}",
                     program.name(),
                     program.nranks(),
                     program.total_ops()
@@ -122,15 +192,16 @@ fn run_plan(
             let how = if *exhaustive { "exhaustive" } else { "budget-bounded" };
             if json {
                 println!(
-                    "{{\"schema\":\"mim-explore-report-v1\",\"plan\":{},\"analyzer\":\"{analyzer}\",\
-                     \"outcome\":\"explored_clean\",\"schedules\":{schedules},\
+                    "{{\"schema\":\"mim-explore-report-v2\",\"plan\":{},\"analyzer\":\"{analyzer}\",\
+                     \"determinism\":\"{determinism}\",\"outcome\":\"explored_clean\",\
+                     \"schedules\":{schedules},\"schedules_unpruned\":{schedules_unpruned},\
                      \"exhaustive\":{exhaustive}}}",
                     mim_analyze::diag::json_string(name)
                 );
             } else if !quiet {
                 println!(
-                    "plan {} ({} ranks, {} ops): analyzer said {analyzer}; \
-                     {schedules} schedules explored clean ({how})",
+                    "plan {} ({} ranks, {} ops): analyzer said {analyzer}, {determinism}; \
+                     {schedules} of {schedules_unpruned} unpruned schedules explored clean ({how})",
                     program.name(),
                     program.nranks(),
                     program.total_ops()

@@ -13,11 +13,11 @@
 use std::fmt::Write as _;
 
 use mim_analyze::diag::json_string;
-use mim_analyze::{Json, Program};
+use mim_analyze::{IndependenceMap, Json, Program};
 use mim_trace::Tracer;
 use mim_util::rng::splitmix64;
 
-use crate::model::{run_model, RunOutput};
+use crate::model::{run_model, run_model_with, RunOutput};
 use crate::policy::{RecordingPolicy, ReplayPolicy};
 
 /// How much searching [`explore`] may do.
@@ -213,6 +213,19 @@ fn witness_from(
 /// Errors only on internal failures (a policy or model bug); a deadlock is
 /// a successful [`Outcome::DefiniteDeadlock`], not an error.
 pub fn explore(program: &Program, budget: &Budget) -> Result<Outcome, String> {
+    explore_with(program, budget, None)
+}
+
+/// [`explore`], additionally consulting the analyzer's static
+/// [`IndependenceMap`]: wildcard sites proven benign record empty
+/// persistent sets, so the DFS never seeds a backtrack point there and
+/// statically `Deterministic` plans are decided by a single schedule.
+/// Passing `None` explores the full (unpruned) branch space.
+pub fn explore_with(
+    program: &Program,
+    budget: &Budget,
+    independence: Option<&IndependenceMap>,
+) -> Result<Outcome, String> {
     let mut schedules = 0usize;
     let mut stack: Vec<Frame> = Vec::new();
     let mut exhaustive = true;
@@ -228,7 +241,7 @@ pub fn explore(program: &Program, budget: &Budget) -> Result<Outcome, String> {
         let scripted_len = script.len();
         let policy = RecordingPolicy::scripted(script);
         let tracer = Tracer::new(64);
-        let out = run_model(program, &policy, Some(&tracer))?;
+        let out = run_model_with(program, &policy, Some(&tracer), independence)?;
         schedules += 1;
         if out.deadlocked() {
             let w = witness_from(
@@ -248,7 +261,7 @@ pub fn explore(program: &Program, budget: &Budget) -> Result<Outcome, String> {
         // Backtrack to the deepest frame still owing an alternative.
         loop {
             match stack.last_mut() {
-                None => return finish_random(program, budget, schedules, exhaustive),
+                None => return finish_random(program, budget, schedules, exhaustive, independence),
                 Some(f) => match f.pending.pop() {
                     Some(alt) => {
                         f.chosen = alt;
@@ -262,7 +275,7 @@ pub fn explore(program: &Program, budget: &Budget) -> Result<Outcome, String> {
         }
     }
 
-    finish_random(program, budget, schedules, exhaustive)
+    finish_random(program, budget, schedules, exhaustive, independence)
 }
 
 /// Phase 3: seeded random probing (only when the DFS could not finish).
@@ -271,6 +284,7 @@ fn finish_random(
     budget: &Budget,
     mut schedules: usize,
     exhaustive: bool,
+    independence: Option<&IndependenceMap>,
 ) -> Result<Outcome, String> {
     if !exhaustive {
         let mut state = budget.seed;
@@ -278,7 +292,7 @@ fn finish_random(
             let schedule_seed = splitmix64(&mut state);
             let policy = RecordingPolicy::random(Vec::new(), schedule_seed);
             let tracer = Tracer::new(64);
-            let out = run_model(program, &policy, Some(&tracer))?;
+            let out = run_model_with(program, &policy, Some(&tracer), independence)?;
             schedules += 1;
             if out.deadlocked() {
                 let w = witness_from(

@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use mim_analyze::{CollKind, Op, Program, Src, Tag};
+use mim_analyze::{CollKind, IndependenceMap, Op, Program, Src, Tag};
 use mim_trace::{TraceData, Tracer};
 
 use crate::policy::{RecordingPolicy, ReplayPolicy};
@@ -128,9 +128,14 @@ struct Model<'a> {
     occ: Vec<Vec<usize>>,
     /// Barrier membership: (comm, occurrence) → ranks arrived.
     barriers: BTreeMap<(u32, usize), Vec<usize>>,
-    /// Which ranks ever wildcard-receive, and on which (comm, tag) space —
-    /// the match-graph side of the persistent-set computation.
+    /// Which ranks ever wildcard-receive *racily*, and on which (comm, tag)
+    /// space — the match-graph side of the persistent-set computation.
+    /// Sites the independence map proves benign are omitted.
     wildcard_pats: Vec<Vec<(u32, Tag)>>,
+    /// The analyzer's static independence relation, when supplied: benign
+    /// wildcard sites stop seeding backtrack points (their decisions are
+    /// still recorded, so logs stay byte-comparable).
+    imap: Option<&'a IndependenceMap>,
     trace: Vec<String>,
     steps: usize,
 }
@@ -140,11 +145,15 @@ impl<'a> Model<'a> {
         program: &'a Program,
         policy: &'a dyn ModelPolicy,
         tracer: Option<&'a std::sync::Arc<Tracer>>,
+        imap: Option<&'a IndependenceMap>,
     ) -> Self {
         let n = program.nranks();
         let mut wildcard_pats = vec![Vec::new(); n];
         for (r, pats) in wildcard_pats.iter_mut().enumerate() {
-            for op in program.rank_ops(r) {
+            for (step, op) in program.rank_ops(r).iter().enumerate() {
+                if imap.is_some_and(|m| m.wildcard_is_benign(r, step)) {
+                    continue; // statically order-insensitive: not a race
+                }
                 if let Op::Recv { comm, src: Src::Any, tag } = op {
                     pats.push((comm.0, *tag));
                 } else if let Op::Recv { comm, tag: Tag::Any, .. } = op {
@@ -165,9 +174,15 @@ impl<'a> Model<'a> {
             occ: vec![vec![0; program.ncomms()]; n],
             barriers: BTreeMap::new(),
             wildcard_pats,
+            imap,
             trace: Vec::new(),
             steps: 0,
         }
+    }
+
+    /// Is the wildcard receive at `(r, step)` statically order-insensitive?
+    fn wildcard_is_benign(&self, r: usize, step: usize) -> bool {
+        self.imap.is_some_and(|m| m.wildcard_is_benign(r, step))
     }
 
     fn record(&mut self, rank: usize, line: String, data: Option<TraceData>) {
@@ -190,11 +205,14 @@ impl<'a> Model<'a> {
 
     /// Can a later decision about rank `r` change any wildcard match?
     /// Conservative (whole remaining program, not just the next burst):
-    /// errs toward exploring, never toward pruning a real race.
+    /// errs toward exploring, never toward pruning a real race.  Wildcard
+    /// sites the independence map proves benign do not count.
     fn rank_is_racy(&self, r: usize) -> bool {
-        self.program.rank_ops(r)[self.pc[r]..].iter().any(|op| match *op {
+        self.program.rank_ops(r)[self.pc[r]..].iter().enumerate().any(|(j, op)| match *op {
             Op::Send { comm, dst, tag, .. } => self.send_is_racy(dst, comm.0, tag),
-            Op::Recv { src: Src::Any, .. } | Op::Recv { tag: Tag::Any, .. } => true,
+            Op::Recv { src: Src::Any, .. } | Op::Recv { tag: Tag::Any, .. } => {
+                !self.wildcard_is_benign(r, self.pc[r] + j)
+            }
             _ => false,
         })
     }
@@ -276,7 +294,16 @@ impl<'a> Model<'a> {
                         0 => return, // blocked
                         1 => slate[0],
                         n => {
-                            let i = self.policy.pick('w', n, &[]);
+                            // A benign site still *records* its decision
+                            // (logs stay byte-comparable) but flags every
+                            // candidate non-racy, so the persistent set is
+                            // empty and the DFS never backtracks here.
+                            let racy: Vec<bool> = if self.wildcard_is_benign(r, self.pc[r]) {
+                                vec![false; n]
+                            } else {
+                                Vec::new()
+                            };
+                            let i = self.policy.pick('w', n, &racy);
                             slate[i.min(n - 1)]
                         }
                     };
@@ -442,7 +469,21 @@ pub fn run_model(
     policy: &dyn ModelPolicy,
     tracer: Option<&std::sync::Arc<Tracer>>,
 ) -> Result<RunOutput, String> {
-    Model::new(program, policy, tracer).run()
+    Model::new(program, policy, tracer, None).run()
+}
+
+/// [`run_model`], additionally consulting the analyzer's static
+/// [`IndependenceMap`]: wildcard sites it proves benign stop flagging
+/// races (empty persistent sets, non-racy rank resumes) while their
+/// decisions are still recorded, so a pruned run's decision log is
+/// byte-identical to the unpruned run making the same choices.
+pub fn run_model_with(
+    program: &Program,
+    policy: &dyn ModelPolicy,
+    tracer: Option<&std::sync::Arc<Tracer>>,
+    independence: Option<&IndependenceMap>,
+) -> Result<RunOutput, String> {
+    Model::new(program, policy, tracer, independence).run()
 }
 
 #[cfg(test)]

@@ -15,10 +15,17 @@
 //! [`Witness`]: crate::explore::Witness
 
 use std::fmt::Write as _;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use mim_mpisim::{Decision, SchedulePolicy};
 use mim_util::rng::Rng;
+
+/// Lock a policy mutex, recovering from poisoning: policies hold no
+/// invariant a panicked peer could have broken mid-update (every mutation
+/// is a single push/increment), so the inner state is always usable.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One recorded decision: the seam kind, the slate size, the index chosen,
 /// and the unexplored alternatives of its persistent set.
@@ -85,7 +92,7 @@ impl RecordingPolicy {
 
     /// Everything recorded so far, in decision order.
     pub fn recs(&self) -> Vec<Rec> {
-        self.inner.lock().expect("recording policy poisoned").recs.clone()
+        lock(&self.inner).recs.clone()
     }
 
     /// The serialized decision log (`"r:1/3;w:0/2;"`).
@@ -98,7 +105,7 @@ impl RecordingPolicy {
     /// `racy[i]` marks candidates whose selection can change the outcome;
     /// an empty slice means "all of them can" (wildcard slates).
     pub fn pick(&self, kind: char, n: usize, racy: &[bool]) -> usize {
-        let mut inner = self.inner.lock().expect("recording policy poisoned");
+        let mut inner = lock(&self.inner);
         let at = inner.recs.len();
         let chosen = match inner.script.get(at) {
             Some(&c) => c.min(n.saturating_sub(1)),
@@ -148,11 +155,11 @@ impl ReplayPolicy {
 
     /// The first divergence seen, if any.
     pub fn divergence(&self) -> Option<String> {
-        self.diverged.lock().expect("replay policy poisoned").clone()
+        lock(&self.diverged).clone()
     }
 
     fn diverge(&self, msg: String) -> usize {
-        let mut d = self.diverged.lock().expect("replay policy poisoned");
+        let mut d = lock(&self.diverged);
         if d.is_none() {
             *d = Some(msg);
         }
@@ -162,7 +169,7 @@ impl ReplayPolicy {
     /// Answer one decision from the log, flagging any mismatch.
     pub fn pick(&self, kind: char, n: usize, _racy: &[bool]) -> usize {
         let at = {
-            let mut at = self.at.lock().expect("replay policy poisoned");
+            let mut at = lock(&self.at);
             let v = *at;
             *at += 1;
             v

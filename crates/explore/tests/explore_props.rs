@@ -10,7 +10,8 @@ use mim_analyze::{analyze_program, Op, Program, Src, Tag, Verdict, WORLD};
 use mim_apps::builtin::{built_in, Shape, PLANS};
 use mim_explore::plans::{wildcard_clean, wildcard_race};
 use mim_explore::{
-    explore, replay, run_model, Budget, Outcome, RecordingPolicy, ReplayPolicy, Witness,
+    explore, explore_with, replay, run_model, Budget, Outcome, RecordingPolicy, ReplayPolicy,
+    Witness,
 };
 use mim_mpisim::{SrcSel, TagSel, Universe, UniverseConfig};
 use mim_topology::{Machine, Placement};
@@ -103,6 +104,93 @@ props! {
         let replayed = replay(&p, &parsed).unwrap();
         assert_eq!(replayed.trace, w1.trace);
         assert_eq!(replayed.stuck.as_deref(), Some(&w1.stuck[..]));
+    }
+
+    /// A statically `Deterministic` verdict is a one-schedule proof: with
+    /// the analyzer's independence map pruning benign wildcard sites, the
+    /// DFS decides every such plan — all 14 built-ins and the all-benign
+    /// `wildcard_clean` — in exactly one schedule, with the same outcome
+    /// kind the unpruned search reaches.
+    fn deterministic_plans_are_decided_in_one_schedule(g, cases = 4) {
+        let n = g.gen_range(2usize..if quick() { 5 } else { 8 });
+        let shape = Shape {
+            n,
+            root: g.gen_range(0usize..n),
+            bytes: g.gen_range(64u64..8192),
+            seg: g.gen_range(16u64..2048),
+        };
+        let budget = Budget { max_schedules: 512, random: 0, seed: g.next_u64() };
+        let mut programs: Vec<Program> = PLANS
+            .iter()
+            .map(|name| built_in(name, &shape).unwrap_or_else(|e| panic!("{name}: {e}")))
+            .collect();
+        programs.push(wildcard_clean(n.max(2)));
+        for program in &programs {
+            let report = analyze_program(program);
+            assert!(
+                matches!(report.determinism, mim_analyze::Determinism::Deterministic),
+                "{}: {:?}",
+                program.name(),
+                report.determinism
+            );
+            let pruned = explore_with(program, &budget, Some(&report.independence)).unwrap();
+            assert_eq!(
+                pruned.schedules(),
+                1,
+                "{}: deterministic yet {} schedules were needed",
+                program.name(),
+                pruned.schedules()
+            );
+            let unpruned = explore(program, &budget).unwrap();
+            assert!(
+                matches!(
+                    (&pruned, &unpruned),
+                    (Outcome::ExploredClean { .. }, Outcome::ExploredClean { .. })
+                ),
+                "{}: pruning changed the outcome kind",
+                program.name()
+            );
+            assert!(pruned.schedules() <= unpruned.schedules(), "{}", program.name());
+        }
+    }
+
+    /// Every MIM-A011 on `wildcard_race` is a *real* race: two schedules
+    /// — the canonical one and one differing only in its first resume
+    /// decision — produce byte-different normalized traces in which the
+    /// wildcard receive observably matches different senders.
+    fn a011_races_are_realized_by_two_schedules(g, cases = 6) {
+        let n = g.gen_range(3usize..8);
+        let p = wildcard_race(n);
+        let report = analyze_program(&p);
+        assert!(
+            matches!(&report.determinism,
+                mim_analyze::Determinism::SchedSensitive { codes }
+                    if codes.contains(&mim_analyze::Code::A011)),
+            "wildcard_race must carry an A011: {:?}",
+            report.determinism
+        );
+
+        let canonical = RecordingPolicy::canonical();
+        let out0 = run_model(&p, &canonical, None).unwrap();
+        // Steer only the first resume decision somewhere else.
+        let alt = 1 + g.index(n - 2);
+        let scripted = RecordingPolicy::scripted(vec![alt]);
+        let out1 = run_model(&p, &scripted, None).unwrap();
+        assert_ne!(out0.trace, out1.trace, "schedules {:?} vs {:?}", canonical.log(), scripted.log());
+
+        // The divergence is the race itself: rank 0's wildcard matched a
+        // different sender in the two runs.
+        let first_match = |out: &mim_explore::RunOutput| {
+            out.trace
+                .iter()
+                .find(|l| l.contains("rank=0 recv"))
+                .and_then(|l| {
+                    l.split_whitespace().find_map(|w| w.strip_prefix("src=").map(String::from))
+                })
+        };
+        let (m0, m1) = (first_match(&out0), first_match(&out1));
+        assert!(m0.is_some(), "canonical run never matched the wildcard");
+        assert_ne!(m0, m1, "the wildcard matched the same sender on both schedules");
     }
 }
 

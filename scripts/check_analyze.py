@@ -58,7 +58,7 @@ def check_batch(cli, n, root, nbytes, problems):
     except json.JSONDecodeError as e:
         problems.append(f"{shape}: --all --json is not valid JSON: {e}")
         return
-    if batch.get("schema") != "mim-analyze-batch-v1":
+    if batch.get("schema") != "mim-analyze-batch-v2":
         problems.append(f"{shape}: unexpected batch schema {batch.get('schema')!r}")
         return
     reports = batch.get("reports", [])
@@ -66,8 +66,10 @@ def check_batch(cli, n, root, nbytes, problems):
         problems.append(f"{shape}: only {len(reports)} reports (expected >= 14 plans)")
     for rep in reports:
         plan = rep.get("plan", "?")
-        if rep.get("schema") != "mim-analyze-report-v1":
+        if rep.get("schema") != "mim-analyze-report-v2":
             problems.append(f"{shape} {plan}: bad report schema")
+        if rep.get("determinism", {}).get("kind") != "deterministic":
+            problems.append(f"{shape} {plan}: determinism {rep.get('determinism')}")
         if rep.get("nranks") != n:
             problems.append(f"{shape} {plan}: nranks {rep.get('nranks')} != {n}")
         if rep.get("verdict", {}).get("kind") != "deadlock_free":

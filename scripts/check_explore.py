@@ -98,7 +98,7 @@ def main():
         except json.JSONDecodeError as e:
             problems.append(f"--all --json line is not JSON: {e}: {line!r}")
             continue
-        if rep.get("schema") != "mim-explore-report-v1":
+        if rep.get("schema") != "mim-explore-report-v2":
             problems.append(f"report schema is {rep.get('schema')!r}")
         reports[rep.get("plan")] = rep
     race = next((v for k, v in reports.items() if "wildcard_race" in str(k)), None)

@@ -3,17 +3,19 @@
 
 Two rules, both scoped to library code with `#[cfg(test)]` items stripped:
 
-1. No `.unwrap()` / `.expect(` in `mim-mpisim`, `mim-core`, or
-   `mim-analyze` outside the explicit allowlist below.  Rank threads run
-   user workloads; a stray unwrap turns a recoverable condition into a
-   cascade of rank panics.  Allowlisted sites are invariant-backed (the
-   message names the invariant) and reviewed by hand.
+1. No `.unwrap()` / `.expect(` in `mim-mpisim`, `mim-core`,
+   `mim-analyze`, or `mim-explore` outside the explicit allowlist below.
+   Rank threads run user workloads; a stray unwrap turns a recoverable
+   condition into a cascade of rank panics.  Allowlisted sites are
+   invariant-backed (the message names the invariant) and reviewed by
+   hand.
 
 2. No wall-clock sources (`Instant::now`, `SystemTime::now`) in
-   `mim-mpisim`, `mim-core`, or `mim-analyze` at all.  The simulator is a
-   virtual-time machine and the analyzer a pure function; determinism is
-   the whole point.  Sanctioned wall-clock use lives in `mim-util`
-   (channel timeouts, the bench timer) and `mim-reorder` (reordering-cost
+   `mim-mpisim`, `mim-core`, `mim-analyze`, or `mim-explore` at all.  The
+   simulator is a virtual-time machine, the analyzer a pure function, and
+   the explorer's schedules must replay byte-for-byte; determinism is the
+   whole point.  Sanctioned wall-clock use lives in `mim-util` (channel
+   timeouts, the bench timer) and `mim-reorder` (reordering-cost
    measurement), which this gate does not scan — with one exception:
 
 3. The M:N executor's substrate (`mim-util`'s `fiber.rs` and `deque.rs`)
@@ -30,8 +32,18 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 
-UNWRAP_SCOPE = ["crates/mpisim/src", "crates/core/src"]
-CLOCK_SCOPE = ["crates/mpisim/src", "crates/core/src", "crates/analyze/src"]
+UNWRAP_SCOPE = [
+    "crates/mpisim/src",
+    "crates/core/src",
+    "crates/analyze/src",
+    "crates/explore/src",
+]
+CLOCK_SCOPE = [
+    "crates/mpisim/src",
+    "crates/core/src",
+    "crates/analyze/src",
+    "crates/explore/src",
+]
 # Rule 3: single files (not whole directories) held to both rules.
 EXEC_SUBSTRATE = ["crates/util/src/fiber.rs", "crates/util/src/deque.rs"]
 
