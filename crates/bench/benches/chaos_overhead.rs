@@ -82,6 +82,8 @@ fn carrier(q: &mut VecDeque<Envelope>, t_ns: f64, cost: f64, wire_seq: Option<u6
         sent_at_ns: t_ns,
         arrival_ns: t_ns + cost,
         wire_seq,
+        src_inc: 0,
+        dst_inc: 0,
     });
     black_box(q.pop_front());
 }

@@ -31,6 +31,8 @@ fn env(src: usize, tag: u32) -> Envelope {
         sent_at_ns: 0.0,
         arrival_ns: 0.0,
         wire_seq: None,
+        src_inc: 0,
+        dst_inc: 0,
     }
 }
 

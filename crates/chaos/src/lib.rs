@@ -41,6 +41,13 @@ pub struct FaultPlan {
     /// Directed `(src_world, dst_world, bandwidth_scale)` overrides.
     degrade: Vec<(usize, usize, f64)>,
     crashes: Vec<(usize, CrashPoint)>,
+    /// Ranks whose plan crash is followed by a rebirth (rolling restart,
+    /// `Universe::launch_elastic`).  Each restarts exactly once: only the
+    /// original incarnation's crash is covered.
+    restarts: Vec<usize>,
+    /// Join schedule: `(latent joiner world rank, sponsor op count)` pairs
+    /// (see `FaultInjector::join_plan`).
+    joins: Vec<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -55,6 +62,8 @@ impl FaultPlan {
             delay_max_ns: 0.0,
             degrade: Vec::new(),
             crashes: Vec::new(),
+            restarts: Vec::new(),
+            joins: Vec::new(),
         }
     }
 
@@ -99,6 +108,23 @@ impl FaultPlan {
     /// Crash `world` at virtual timestamp `at_ns`.
     pub fn crash_at_time(mut self, world: usize, at_ns: f64) -> Self {
         self.crashes.push((world, CrashPoint::VirtualTimeNs(at_ns)));
+        self
+    }
+
+    /// Rolling restart: crash `world` when its wire-operation counter
+    /// reaches `ops`, then rebirth it (incarnation 1) under
+    /// `Universe::launch_elastic`.  Equivalent to `crash_at_ops` under the
+    /// non-elastic launchers.
+    pub fn restart_at_ops(mut self, world: usize, ops: u64) -> Self {
+        self.restarts.push(world);
+        self.crash_at_ops(world, ops)
+    }
+
+    /// Schedule the admission of latent rank `world` when the sponsor's
+    /// (world rank 0's) wire-operation counter reaches `ops` — the join
+    /// dual of [`FaultPlan::crash_at_ops`].
+    pub fn join_at_ops(mut self, world: usize, ops: u64) -> Self {
+        self.joins.push((world, ops));
         self
     }
 
@@ -170,6 +196,26 @@ impl FaultPlan {
                         _ => bad("crash point kind (want ops: or ns:)"),
                     };
                 }
+                "restart" => {
+                    let (world, point) = val.split_once('@').unwrap_or_else(|| bad("WORLD@POINT"));
+                    let world: usize = world.parse().unwrap_or_else(|_| bad("world rank"));
+                    let (kind, n) = point.split_once(':').unwrap_or_else(|| bad("ops:N"));
+                    out = match kind {
+                        "ops" => {
+                            out.restart_at_ops(world, n.parse().unwrap_or_else(|_| bad("ops")))
+                        }
+                        _ => bad("restart point kind (want ops:)"),
+                    };
+                }
+                "join" => {
+                    let (world, point) = val.split_once('@').unwrap_or_else(|| bad("WORLD@POINT"));
+                    let world: usize = world.parse().unwrap_or_else(|_| bad("world rank"));
+                    let (kind, n) = point.split_once(':').unwrap_or_else(|| bad("ops:N"));
+                    out = match kind {
+                        "ops" => out.join_at_ops(world, n.parse().unwrap_or_else(|_| bad("ops"))),
+                        _ => bad("join point kind (want ops:)"),
+                    };
+                }
                 _ => bad("clause key"),
             }
         }
@@ -223,6 +269,16 @@ impl FaultInjector for FaultPlan {
 
     fn crash_point(&self, world: usize) -> Option<CrashPoint> {
         self.crashes.iter().find(|(w, _)| *w == world).map(|(_, p)| *p)
+    }
+
+    fn restart_after_crash(&self, world: usize, incarnation: u32) -> bool {
+        // One rebirth per rank: a reborn body's own crashes (were pre_op not
+        // already gated on incarnation 0) stay fatal.
+        incarnation == 0 && self.restarts.contains(&world)
+    }
+
+    fn join_plan(&self) -> Vec<(usize, u64)> {
+        self.joins.clone()
     }
 }
 
@@ -320,6 +376,24 @@ mod tests {
             plan.crashes,
             vec![(3, CrashPoint::OpCount(120)), (2, CrashPoint::VirtualTimeNs(5000.0))]
         );
+    }
+
+    #[test]
+    fn parse_churn_grammar() {
+        let plan = FaultPlan::parse(5, "restart=3@ops:40,join=8@ops:12");
+        assert_eq!(plan.crashes, vec![(3, CrashPoint::OpCount(40))]);
+        assert_eq!(plan.restarts, vec![3]);
+        assert_eq!(plan.joins, vec![(8, 12)]);
+        assert!(plan.restart_after_crash(3, 0));
+        assert!(!plan.restart_after_crash(3, 1), "ranks restart exactly once");
+        assert!(!plan.restart_after_crash(2, 0));
+        assert_eq!(plan.join_plan(), vec![(8, 12)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart point kind")]
+    fn parse_rejects_time_restart() {
+        let _ = FaultPlan::parse(0, "restart=3@ns:500");
     }
 
     #[test]

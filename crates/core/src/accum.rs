@@ -221,11 +221,12 @@ impl PairAccum {
         out
     }
 
-    /// Drain this accumulator into sorted per-destination entries, leaving
-    /// it zeroed — how an epoch window is sealed.
-    pub fn drain_entries(&mut self) -> Vec<PairEntry> {
+    /// Sorted per-destination entries of everything recorded so far, without
+    /// touching the accumulator — [`PairAccum::drain_entries`] minus the
+    /// zeroing, used when the data must survive the walk (reindexing).
+    pub fn entries(&self) -> Vec<PairEntry> {
         let mut out = Vec::new();
-        match &mut self.repr {
+        match &self.repr {
             Repr::Dense { counts, sizes } => {
                 for d in 0..self.n {
                     let cell = PairCell {
@@ -236,13 +237,9 @@ impl PairAccum {
                         out.push(PairEntry { dst: d, counts: cell.counts, sizes: cell.sizes });
                     }
                 }
-                for k in 0..3 {
-                    counts[k].fill(0);
-                    sizes[k].fill(0);
-                }
             }
             Repr::Sparse { cells } => {
-                out.extend(cells.drain().map(|(d, c)| PairEntry {
+                out.extend(cells.iter().map(|(&d, c)| PairEntry {
                     dst: d,
                     counts: c.counts,
                     sizes: c.sizes,
@@ -251,6 +248,58 @@ impl PairAccum {
             }
         }
         out
+    }
+
+    /// Drain this accumulator into sorted per-destination entries, leaving
+    /// it zeroed — how an epoch window is sealed.
+    pub fn drain_entries(&mut self) -> Vec<PairEntry> {
+        let out = self.entries();
+        self.reset();
+        out
+    }
+
+    /// Remap this accumulator onto a resized communicator: `map[old]` is the
+    /// destination's rank in the new membership, `None` when it departed
+    /// (its column is dropped — the process is gone, its address space with
+    /// it).  Returns a fresh accumulator of `new_n` members whose dense /
+    /// sparse representation is re-chosen under `limit`, so a communicator
+    /// that grows past the threshold flips to sparse at the rebind and a
+    /// shrinking one flips back.
+    ///
+    /// # Panics
+    /// Panics when `map` does not cover every old destination or maps one
+    /// out of `0..new_n` — programming errors of the membership layer.
+    pub fn reindex(&self, map: &[Option<usize>], new_n: usize, limit: usize) -> PairAccum {
+        assert_eq!(map.len(), self.n, "reindex map must cover every old destination");
+        let mut out = Self::with_dense_limit(new_n, limit);
+        for e in self.entries() {
+            let Some(dst) = map[e.dst] else { continue };
+            assert!(dst < new_n, "reindex target {dst} outside new communicator of {new_n}");
+            for k in 0..3 {
+                out.add(dst, k, e.counts[k], e.sizes[k]);
+            }
+        }
+        out
+    }
+
+    /// Bulk-add `count` messages of `bytes` total toward `dst` with kind
+    /// index `k` (the reindex transfer primitive; [`PairAccum::record`] is
+    /// the one-message hot path).
+    fn add(&mut self, dst: usize, k: usize, count: u64, bytes: u64) {
+        if count == 0 && bytes == 0 {
+            return;
+        }
+        match &mut self.repr {
+            Repr::Dense { counts, sizes } => {
+                counts[k][dst] += count;
+                sizes[k][dst] += bytes;
+            }
+            Repr::Sparse { cells } => {
+                let cell = cells.entry(dst).or_default();
+                cell.counts[k] += count;
+                cell.sizes[k] += bytes;
+            }
+        }
     }
 
     /// Approximate heap footprint in bytes — what `monitor_scale` compares
@@ -333,6 +382,32 @@ mod tests {
             );
             assert!(a.drain_entries().is_empty(), "drained accumulator is empty");
             assert_eq!(a.row(Flags::ALL_COMM).0, vec![0; 8]);
+        }
+    }
+
+    #[test]
+    fn reindex_remaps_drops_and_reshapes() {
+        for limit in [usize::MAX, 0] {
+            // Traffic toward 1 (p2p), 3 (coll), 7 (osc); new membership:
+            // old 1 → new 0, old 3 departed, old 7 → new 2.
+            let a = filled(limit);
+            let mut map = vec![None; 8];
+            map[1] = Some(0);
+            map[7] = Some(2);
+            map[0] = Some(1); // untouched destinations move silently
+            let b = a.reindex(&map, 4, usize::MAX);
+            assert_eq!(b.order(), 4);
+            assert!(b.is_dense(), "representation re-chosen under the new limit");
+            assert_eq!(b.row(Flags::ALL_COMM).0, vec![2, 0, 1, 0]);
+            assert_eq!(b.row(Flags::ALL_COMM).1, vec![150, 0, 0, 0]);
+            assert_eq!(b.row(Flags::COLL_ONLY).0, vec![0; 4], "departed column dropped");
+            // Kind separation survives the transfer.
+            assert_eq!(b.row(Flags::P2P_ONLY).1, vec![150, 0, 0, 0]);
+            assert_eq!(b.row(Flags::OSC_ONLY).0, vec![0, 0, 1, 0]);
+            // Original untouched.
+            assert_eq!(a.row(Flags::ALL_COMM).0, filled(limit).row(Flags::ALL_COMM).0);
+            // Growing across the threshold flips sparse.
+            assert!(!a.reindex(&map, 4, 0).is_dense());
         }
     }
 

@@ -96,8 +96,10 @@ pub struct GatheredWindow {
     /// 1-based index of the window this rank sealed (ranks stay in lockstep
     /// when every window is advanced through the same collective calls).
     pub epoch: u64,
-    /// The window's traffic matrices (`liveness` all-true) — `Some` at the
-    /// gathering root, `None` elsewhere.
+    /// The window's traffic matrices — `Some` at the gathering root, `None`
+    /// elsewhere.  `liveness` is all-true from [`Monitoring::gather_window`];
+    /// [`Monitoring::gather_window_partial`] zeroes dead ranks' rows and
+    /// marks them here instead.
     pub data: Option<GatheredData>,
 }
 
@@ -378,6 +380,88 @@ impl Monitoring {
             epoch: delta.epoch,
             data: rows.map(|rows| densify(&rows, comm.size())),
         })
+    }
+
+    /// Fault-tolerant variant of [`Monitoring::gather_window`] for sessions
+    /// riding out membership churn: seal the window and gather it from the
+    /// ranks marked alive in `alive` (indexed by communicator rank), routing
+    /// the k-ary tree over the **live membership only** so no frame ever
+    /// waits on a dead or departed interior rank.  Dead ranks' rows come
+    /// back zeroed with `liveness[i] == false` — the window analogue of
+    /// [`Monitoring::rootgather_partial`]'s contract, so a rank dying
+    /// mid-epoch cannot leave phantom rows in the next window.  Collective
+    /// over the live members only; dead ranks must not call it.
+    ///
+    /// # Errors
+    /// [`MonError::InvalidRoot`] when `root` is out of range, marked dead,
+    /// or `alive` is not exactly one flag per member.
+    pub fn gather_window_partial(
+        &self,
+        rank: &Rank,
+        msid: Msid,
+        root: usize,
+        flags: Flags,
+        alive: &[bool],
+    ) -> Result<GatheredWindow> {
+        self.check_init()?;
+        let (delta, comm) = {
+            let mut st = self.state.borrow_mut();
+            let s = st.get_mut(msid)?;
+            let n = s.comm.size();
+            if root >= n || alive.len() != n || !alive[root] {
+                return Err(MonError::InvalidRoot);
+            }
+            s.muted = true;
+            (s.advance_window(), s.comm.clone())
+        };
+        self.trace_window(msid, &delta);
+        let mut buf = Vec::with_capacity(delta.entries.len() * 3);
+        for e in &delta.entries {
+            let (mut count, mut bytes) = (0u64, 0u64);
+            for k in flags.selected_indices() {
+                count += e.counts[k];
+                bytes += e.sizes[k];
+            }
+            if count != 0 || bytes != 0 {
+                buf.extend([e.dst as u64, count, bytes]);
+            }
+        }
+        // Same topology order as the full gather, restricted to the
+        // survivors; the root stays first because it is alive by the check
+        // above.
+        let order: Vec<usize> =
+            topology_order(rank, &comm, root).into_iter().filter(|&r| alive[r]).collect();
+        let rows = rank.gather_tree(&comm, root, gather_arity(), &order, &buf);
+        if let Ok(s) = self.state.borrow_mut().get_mut(msid) {
+            s.muted = false;
+        }
+        Ok(GatheredWindow {
+            epoch: delta.epoch,
+            data: rows.map(|rows| {
+                let mut data = densify(&rows, comm.size());
+                data.liveness = alive.to_vec();
+                data
+            }),
+        })
+    }
+
+    /// Re-attach a session to a grown or shrunk communicator (elastic
+    /// membership: after [`Rank::comm_shrink`] removed the dead or
+    /// [`Rank::comm_grow`] admitted joiners).  Recorded traffic follows each
+    /// surviving member to its new communicator rank — the mapping runs
+    /// through world ranks — departed members' columns are dropped and
+    /// joiners start at zero; totals, the open epoch window and the epoch
+    /// counter all survive.  Every surviving member of the session must
+    /// rebind to the *same* new communicator before the next collective
+    /// data access (the call itself is local).
+    ///
+    /// [`Rank::comm_shrink`]: mim_mpisim::Rank::comm_shrink
+    /// [`Rank::comm_grow`]: mim_mpisim::Rank::comm_grow
+    pub fn rebind_session(&self, msid: Msid, new_comm: &Comm) -> Result<()> {
+        self.check_init()?;
+        self.state.borrow_mut().get_mut(msid)?.rebind(new_comm.clone(), self.dense_limit);
+        self.trace_session("rebind", msid);
+        Ok(())
     }
 
     /// Record a sealed window on the rank's trace track.

@@ -334,6 +334,49 @@ pub fn MPI_M_gather_window(
     })
 }
 
+/// Seal every live member's window and gather the deltas' matrices at
+/// `root`, skipping the ranks flagged dead in `alive` (elastic-membership
+/// counterpart of [`MPI_M_gather_window`]; dead rows come back zeroed).
+/// `alive` must hold exactly `array_size` flags with the root alive.
+// The arity is the C signature: gather_window's out-params plus the bitmap.
+#[allow(clippy::too_many_arguments)]
+pub fn MPI_M_gather_window_partial(
+    rank: &Rank,
+    msid: Msid,
+    root: i32,
+    alive: &[bool],
+    epoch: &mut u64,
+    matrix_counts: &mut [u64],
+    matrix_sizes: &mut [u64],
+    flags: Flags,
+) -> i32 {
+    with_env(|mon| {
+        if root < 0 {
+            return Err(MonError::InvalidRoot);
+        }
+        let win = mon.gather_window_partial(rank, msid, root as usize, flags, alive)?;
+        *epoch = win.epoch;
+        let Some(data) = win.data else {
+            return Ok(());
+        };
+        let n2 = data.counts.order() * data.counts.order();
+        if matrix_counts.len() < n2 || matrix_sizes.len() < n2 {
+            return Err(MonError::InternalFail("root buffer too small".into()));
+        }
+        matrix_counts[..n2].copy_from_slice(data.counts.as_row_major());
+        matrix_sizes[..n2].copy_from_slice(data.sizes.as_row_major());
+        Ok(())
+    })
+}
+
+/// Re-attach a session to a grown or shrunk communicator, remapping its
+/// recorded data through world ranks (no paper equivalent — the paper's
+/// library predates ULFM-style elastic membership; see
+/// [`crate::Monitoring::rebind_session`]).
+pub fn MPI_M_rebind(msid: Msid, comm: &Comm) -> i32 {
+    with_env(|mon| mon.rebind_session(msid, comm))
+}
+
 /// Flush this process's data to `filename.[rank].prof` (paper: `MPI_M_flush`).
 pub fn MPI_M_flush(msid: Msid, filename: &str, flags: Flags) -> i32 {
     with_env(|mon| mon.flush(msid, filename, flags))

@@ -181,6 +181,27 @@ impl SessionData {
         delta
     }
 
+    /// Re-attach the session to a grown or shrunk communicator: every
+    /// destination still present keeps its recorded traffic under its *new*
+    /// communicator rank (the mapping runs through world ranks, the stable
+    /// identity across membership epochs), departed destinations' columns
+    /// are dropped, and joiners start at zero.  Totals, the open window and
+    /// the epoch counter all survive — a rebind is a change of coordinates,
+    /// not a reset.
+    pub(crate) fn rebind(&mut self, new_comm: Comm, limit: usize) {
+        let members: HashMap<usize, usize> =
+            new_comm.group().iter().enumerate().map(|(r, &w)| (w, r)).collect();
+        let mut map = vec![None; self.comm.size()];
+        for (r, &w) in self.comm.group().iter().enumerate() {
+            map[r] = members.get(&w).copied();
+        }
+        let n = new_comm.size();
+        self.total = self.total.reindex(&map, n, limit);
+        self.window = self.window.reindex(&map, n, limit);
+        self.members = members;
+        self.comm = new_comm;
+    }
+
     /// This process's (counts, sizes) rows summed over the selected kinds.
     pub(crate) fn row(&self, flags: Flags) -> (Vec<u64>, Vec<u64>) {
         self.total.row(flags)
@@ -428,6 +449,31 @@ mod tests {
         s.state = SessionState::Suspended;
         s.reset();
         assert_eq!(s.epoch, 0);
+    }
+
+    #[test]
+    fn rebind_remaps_by_world_rank_and_keeps_windows() {
+        let mut s = SessionData::new(comm3()); // world ranks [0, 2, 4]
+        s.record(&ev(2, 10, MsgKind::P2pUser)); // comm rank 1
+        s.record(&ev(4, 30, MsgKind::Collective)); // comm rank 2
+        let _ = s.advance_window();
+        s.record(&ev(4, 5, MsgKind::P2pUser)); // lands in window 2
+
+        // World 2 departs, world 6 joins: [0, 4, 6].
+        s.rebind(Comm::from_raw(12, Arc::new(vec![0, 4, 6]), 0), PairAccum::DEFAULT_DENSE_LIMIT);
+        assert_eq!(s.row(Flags::ALL_COMM).1, vec![0, 35, 0], "world 4 now comm rank 1");
+        assert_eq!(s.row(Flags::ALL_COMM).0, vec![0, 2, 0], "world 2's column dropped");
+        assert_eq!(s.epoch, 1, "epoch counter survives the rebind");
+        let w2 = s.advance_window();
+        assert_eq!(w2.epoch, 2);
+        assert_eq!(w2.entries.len(), 1, "open window remapped, not reset");
+        assert_eq!((w2.entries[0].dst, w2.entries[0].sizes[0]), (1, 5));
+        // Joiner traffic records under the new coordinates.
+        s.record(&ev(6, 9, MsgKind::P2pUser));
+        assert_eq!(s.row(Flags::P2P_ONLY).1, vec![0, 5, 9]);
+        // Departed world 2 is no longer a member: its traffic is ignored.
+        s.record(&ev(2, 99, MsgKind::P2pUser));
+        assert_eq!(s.row(Flags::P2P_ONLY).1, vec![0, 5, 9]);
     }
 
     #[test]

@@ -26,11 +26,19 @@ fn parent_pos(p: usize, arity: usize) -> usize {
 /// forwards the lot to its parent; the root returns `Some(rows)` with
 /// `rows[r]` = rank `r`'s contribution, everyone else `None`.
 ///
+/// `order` may list a **subset** of the communicator — the current live
+/// membership under churn — as long as it is duplicate-free and starts with
+/// the root.  A caller whose rank is absent from `order` returns `None`
+/// immediately (it neither sends nor receives); at the root, rows for
+/// absent ranks come back empty, mirroring `rootgather_partial`'s
+/// zeroed-dead-rows contract.  Dead or departed ranks simply must not be
+/// listed; they never have to call at all.
+///
 /// # Panics
-/// Panics when `arity < 2`, `order` is not a permutation of `0..n` with
-/// the root first, or (at the root) a contribution frame is malformed —
-/// all programming errors of the caller, which must pass identical
-/// `order`/`arity` on every rank.
+/// Panics when `arity < 2`, `order` repeats or overflows the communicator,
+/// the root is not first, or (at the root) a contribution frame is
+/// malformed — all programming errors of the caller, which must pass
+/// identical `order`/`arity` on every participating rank.
 pub fn gather_tree_kary(
     rank: &Rank,
     comm: &Comm,
@@ -43,14 +51,21 @@ pub fn gather_tree_kary(
     let n = comm.size();
     let me = comm.rank();
     assert!(arity >= 2, "gather tree arity must be at least 2");
-    assert_eq!(order.len(), n, "order must list every communicator rank once");
+    assert!(!order.is_empty() && order.len() <= n, "order must list 1..={n} live ranks");
     assert_eq!(order[0], root, "order[0] must be the gather root");
     let mut pos_of = vec![usize::MAX; n];
     for (p, &r) in order.iter().enumerate() {
-        assert!(r < n && pos_of[r] == usize::MAX, "order must be a permutation of 0..{n}");
+        assert!(r < n && pos_of[r] == usize::MAX, "order must list distinct ranks below {n}");
         pos_of[r] = p;
     }
     let pos = pos_of[me];
+    if pos == usize::MAX {
+        // Not part of the live membership this gather covers: contribute
+        // nothing and touch no channel.  (The coll tag above was still
+        // consumed, keeping this rank's tag stream aligned with peers that
+        // may include it in a later window.)
+        return None;
+    }
 
     // Own frame first, then each child's subtree buffer in position order —
     // a deterministic concatenation, so the traffic shape is identical on
@@ -78,6 +93,7 @@ pub fn gather_tree_kary(
         let len = buf[at + 1] as usize;
         at += 2;
         assert!(src < n && rows[src].is_none(), "duplicate or out-of-range gather frame");
+        assert!(pos_of[src] != usize::MAX, "gather frame from rank {src} absent from order");
         assert!(at + len <= buf.len(), "truncated gather frame payload");
         rows[src] = Some(buf[at..at + len].to_vec());
         at += len;
@@ -85,9 +101,12 @@ pub fn gather_tree_kary(
     Some(
         rows.into_iter()
             .enumerate()
-            .map(|(r, row)| {
-                assert!(row.is_some(), "rank {r} contributed no gather frame");
-                row.unwrap_or_default()
+            .map(|(r, row)| match row {
+                Some(row) => row,
+                None => {
+                    assert!(pos_of[r] == usize::MAX, "live rank {r} contributed no gather frame");
+                    Vec::new()
+                }
             })
             .collect(),
     )

@@ -15,12 +15,26 @@ pub struct Comm {
     group: Arc<Vec<usize>>,
     /// This process's rank inside the communicator.
     my_rank: usize,
+    /// Membership epoch: 0 for communicators whose membership was never
+    /// churned; each `comm_shrink` / `comm_grow` derives a communicator one
+    /// epoch newer than its parent.  `Rank::send_checked` uses it to reject
+    /// sends on a communicator whose membership has been superseded.
+    epoch: u64,
 }
 
 impl Comm {
     pub(crate) fn new(id: u64, group: Arc<Vec<usize>>, my_rank: usize) -> Self {
+        Self::new_at_epoch(id, group, my_rank, 0)
+    }
+
+    pub(crate) fn new_at_epoch(
+        id: u64,
+        group: Arc<Vec<usize>>,
+        my_rank: usize,
+        epoch: u64,
+    ) -> Self {
         debug_assert!(my_rank < group.len());
-        Self { id, group, my_rank }
+        Self { id, group, my_rank, epoch }
     }
 
     /// Build a communicator from raw parts, outside the runtime.
@@ -35,6 +49,12 @@ impl Comm {
     /// Unique communicator id.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Membership epoch (0 = never churned; see [`Comm::new_at_epoch`]'s
+    /// field docs and `Rank::send_checked`).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of members.

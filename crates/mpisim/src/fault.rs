@@ -101,6 +101,24 @@ pub trait FaultInjector: Send + Sync + fmt::Debug {
     fn crash_point(&self, _world: usize) -> Option<CrashPoint> {
         None
     }
+
+    /// Rolling-restart schedule: should a rank crashed by this plan be
+    /// reborn (same world rank, incarnation + 1)?  Consulted by
+    /// `Universe::launch_elastic` after a plan crash unwinds the rank body;
+    /// `incarnation` is the incarnation that just died (0 for the original).
+    /// The default — never restart — keeps `launch_faulty` semantics.
+    fn restart_after_crash(&self, _world: usize, _incarnation: u32) -> bool {
+        false
+    }
+
+    /// Join schedule: latent ranks the sponsor (world rank 0) admits
+    /// mid-run, as `(joiner world rank, sponsor op count)` pairs.  The
+    /// sponsor checks this at every wire-operation prologue and sends the
+    /// admission notice when its op count reaches the threshold, so a
+    /// seeded plan's joins land at a byte-reproducible point of the run.
+    fn join_plan(&self) -> Vec<(usize, u64)> {
+        Vec::new()
+    }
 }
 
 /// Why a rank failed, as reported by `Universe::launch_faulty`.
@@ -203,6 +221,15 @@ pub(crate) const FAULT_COMM: u64 = 0;
 pub(crate) const FAULT_TAG_DEATH: u32 = 0x00FD_0001;
 /// Tag of a liveness ping (sent by `Rank::liveness_exchange`).
 pub(crate) const FAULT_TAG_PING: u32 = 0x00FD_0002;
+/// Tag of a rejoin notice (broadcast by a reborn rank; payload carries its
+/// new incarnation, consumed by `Rank::await_rejoin`).
+pub(crate) const FAULT_TAG_JOIN: u32 = 0x00FD_0003;
+/// Tag of an admission notice (sponsor → latent rank; payload carries the
+/// grown communicator the joiner was admitted into).
+pub(crate) const FAULT_TAG_ADMIT: u32 = 0x00FD_0004;
+/// Tag of a retirement notice (sponsor → latent rank that will never be
+/// admitted: its slot returns `None` without running the rank body).
+pub(crate) const FAULT_TAG_RETIRE: u32 = 0x00FD_0005;
 
 #[cfg(test)]
 mod tests {

@@ -52,7 +52,9 @@ pub use nic::{NicCounters, NicEvent};
 pub use nonblocking::{waitall_recv, RecvRequest, SendRequest};
 pub use osc::Window;
 pub use pml::{LocalPmlHook, PmlEvent, PmlHook};
-pub use runtime::{Rank, RankAborted, SrcSel, Status, TagSel, Universe, UniverseConfig};
+pub use runtime::{
+    Rank, RankAborted, SrcSel, StaleEpoch, Status, TagSel, Universe, UniverseConfig,
+};
 pub use sched::{CanonicalPolicy, Decision, PolicyHandle, SchedulePolicy};
 pub use schedule::{ChannelTotals, Schedule, Step};
 

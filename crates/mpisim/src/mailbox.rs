@@ -145,6 +145,17 @@ impl UnexpectedQueue {
         self.len += 1;
     }
 
+    /// Remove every queued envelope in arrival order — how a latent slot's
+    /// temporary mailbox hands its pre-admission stash to the rank's real
+    /// mailbox instead of dropping it.
+    pub fn drain_in_order(&mut self) -> Vec<Envelope> {
+        let mut all: Vec<(u64, Envelope)> =
+            self.groups.drain().flat_map(|(_, g)| g.chans.into_values().flatten()).collect();
+        all.sort_unstable_by_key(|&(seq, _)| seq);
+        self.len = 0;
+        all.into_iter().map(|(_, env)| env).collect()
+    }
+
     /// Remove and return the earliest-arrived envelope matching `pat`.
     pub fn take(&mut self, pat: &MatchPattern) -> Option<Envelope> {
         let group_key = (pat.comm_id, pat.ctx);
@@ -301,10 +312,20 @@ pub struct Mailbox {
     /// the flight-recorder dump — the last ring events of *every* track —
     /// to its message.
     trace: Option<TraceHandle>,
-    /// Last admitted wire sequence per sender (fault-injection dedup).
-    last_wire_seq: HashMap<usize, u64>,
+    /// This mailbox's incarnation (0 for an original rank; bumped when the
+    /// owning rank is reborn after a plan crash).  Non-fault envelopes
+    /// addressed to a different incarnation are dropped on admission.
+    incarnation: u32,
+    /// Last admitted `(sender incarnation, wire sequence)` per sender
+    /// (fault-injection dedup).  A newer sender incarnation replaces the
+    /// entry, so a reborn sender's wire sequence restarting at 0 is
+    /// admitted instead of being mistaken for a stale duplicate.
+    last_wire_seq: HashMap<usize, (u32, u64)>,
     /// Envelopes dropped as duplicate deliveries.
     dup_dropped: u64,
+    /// Envelopes dropped as stale-incarnation traffic (addressed to, or
+    /// sent by, an incarnation that no longer exists).
+    stale_dropped: u64,
     /// Under the M:N executor, blocking waits park the rank's *task* here
     /// instead of its worker thread; `None` (thread-per-rank) keeps the
     /// wall-clock `recv_timeout` path.
@@ -324,11 +345,19 @@ impl Mailbox {
             deadline,
             uq_high: 0,
             trace: None,
+            incarnation: 0,
             last_wire_seq: HashMap::new(),
             dup_dropped: 0,
+            stale_dropped: 0,
             parker: None,
             policy: None,
         }
+    }
+
+    /// Set the owning rank's incarnation (elastic restarts).  Messages in
+    /// flight to an older incarnation are dropped on admission from then on.
+    pub(crate) fn set_incarnation(&mut self, incarnation: u32) {
+        self.incarnation = incarnation;
     }
 
     /// Route blocking waits through the M:N executor: park the rank's task
@@ -348,6 +377,23 @@ impl Mailbox {
     /// a deadlock found mid-exploration stays replayable.
     pub fn set_policy(&mut self, policy: PolicyHandle, world_rank: usize) {
         self.policy = Some((policy, world_rank));
+    }
+
+    /// Hand back everything stashed in the unexpected queue, in arrival
+    /// order.  A latent slot's parked wait stashes every envelope that is
+    /// not its admission verdict; the stash transfers to the rank's real
+    /// mailbox so no pre-admission message is lost.
+    pub(crate) fn drain_unexpected(&mut self) -> Vec<Envelope> {
+        self.unexpected.drain_in_order()
+    }
+
+    /// Re-admit an envelope drained from a predecessor mailbox: the
+    /// admission filters (incarnation, duplicate sequences) run again
+    /// against *this* mailbox's state.
+    pub(crate) fn readmit(&mut self, env: Envelope) {
+        if let Some(env) = self.admit(env) {
+            self.queue_unexpected(env);
+        }
     }
 
     /// Take the earliest (or, under a policy, the chosen) queued envelope
@@ -392,14 +438,31 @@ impl Mailbox {
     /// back-to-back with the same sequence), so "not newer" can only mean
     /// "a copy of something already admitted".
     fn admit(&mut self, env: Envelope) -> Option<Envelope> {
+        // Incarnation filter (fault-protocol traffic is exempt: death,
+        // ping and join notices must reach whatever incarnation is live).
+        // A message addressed to a different incarnation of this rank was
+        // in flight across a crash/restart boundary: reject it
+        // deterministically rather than misdeliver it.
+        if env.ctx != Ctx::Fault && env.dst_inc != self.incarnation {
+            self.stale_dropped += 1;
+            return None;
+        }
         let Some(seq) = env.wire_seq else { return Some(env) };
         match self.last_wire_seq.get(&env.src_world) {
-            Some(&last) if seq <= last => {
+            // A dead incarnation's leftovers: drop, whatever the sequence.
+            Some(&(inc, _)) if env.src_inc < inc => {
+                self.stale_dropped += 1;
+                None
+            }
+            Some(&(inc, last)) if env.src_inc == inc && seq <= last => {
                 self.dup_dropped += 1;
                 None
             }
+            // First message from this sender, a newer sequence, or a newer
+            // incarnation (which replaces the entry: its sequences restart
+            // at 0).
             _ => {
-                self.last_wire_seq.insert(env.src_world, seq);
+                self.last_wire_seq.insert(env.src_world, (env.src_inc, seq));
                 Some(env)
             }
         }
@@ -523,6 +586,12 @@ impl Mailbox {
         self.dup_dropped
     }
 
+    /// Envelopes dropped by the incarnation filter (stale-incarnation
+    /// traffic across a crash/restart boundary).
+    pub fn stale_dropped(&self) -> u64 {
+        self.stale_dropped
+    }
+
     /// Number of queued unexpected messages (diagnostic).
     pub fn unexpected_len(&self) -> usize {
         self.unexpected.len()
@@ -553,6 +622,8 @@ mod tests {
             sent_at_ns: 0.0,
             arrival_ns: 0.0,
             wire_seq: None,
+            src_inc: 0,
+            dst_inc: 0,
         }
     }
 
@@ -663,6 +734,63 @@ mod tests {
             Err(RecvWaitError::Timeout)
         ));
         assert_eq!(mb.duplicates_dropped(), 2);
+    }
+
+    #[test]
+    fn reborn_sender_sequences_are_admitted() {
+        // A restarted sender's wire sequences start over at 0; the dedup
+        // filter must key on (incarnation, seq), not seq alone.
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx, Duration::from_secs(5));
+        let seq = |src: usize, inc: u32, s: u64, tag: u32| {
+            let mut e = env(src, 7, Ctx::Pt2pt, tag);
+            e.wire_seq = Some(s);
+            e.src_inc = inc;
+            tx.send(e).unwrap();
+        };
+        seq(1, 0, 0, 10);
+        seq(1, 0, 1, 11);
+        seq(1, 1, 0, 12); // reborn: seq restarts, must be admitted
+        seq(1, 0, 2, 13); // stale incarnation straggler, must be dropped
+        seq(1, 1, 0, 12); // duplicate from the new incarnation
+        let p = pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any);
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let e = mb.try_recv_deadline(&p, Duration::from_secs(5)).unwrap();
+            got.push(e.tag);
+        }
+        assert_eq!(got, vec![10, 11, 12]);
+        assert!(matches!(
+            mb.try_recv_deadline(&p, Duration::from_millis(10)),
+            Err(RecvWaitError::Timeout)
+        ));
+        assert_eq!(mb.stale_dropped(), 1);
+        assert_eq!(mb.duplicates_dropped(), 1);
+    }
+
+    #[test]
+    fn stale_destination_incarnation_is_dropped() {
+        // The mailbox's owner was reborn as incarnation 1: traffic
+        // addressed to incarnation 0 is rejected, fault traffic is exempt.
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx, Duration::from_secs(5));
+        mb.set_incarnation(1);
+        let mut stale = env(1, 7, Ctx::Pt2pt, 10);
+        stale.dst_inc = 0;
+        tx.send(stale).unwrap();
+        let mut fresh = env(1, 7, Ctx::Pt2pt, 11);
+        fresh.dst_inc = 1;
+        tx.send(fresh).unwrap();
+        let mut fault = env(1, 0, Ctx::Fault, 12);
+        fault.dst_inc = 0; // fault protocol never stamps a real incarnation
+        tx.send(fault).unwrap();
+        let p = pat(7, Ctx::Pt2pt, SrcSel::Any, TagSel::Any);
+        let e = mb.try_recv_deadline(&p, Duration::from_secs(5)).unwrap();
+        assert_eq!(e.tag, 11);
+        let f = pat(0, Ctx::Fault, SrcSel::Any, TagSel::Any);
+        let e = mb.try_recv_deadline(&f, Duration::from_secs(5)).unwrap();
+        assert_eq!(e.tag, 12);
+        assert_eq!(mb.stale_dropped(), 1);
     }
 
     #[test]

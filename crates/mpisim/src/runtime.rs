@@ -95,6 +95,14 @@ pub struct UniverseConfig {
     /// keeps every hook a single branch-on-`Option`; the canonical policy
     /// is bit-identical to `None`.
     pub sched: Option<PolicyHandle>,
+    /// Elastic universes: the number of trailing placement slots reserved
+    /// for ranks that may *join* the universe mid-run.  The initial world
+    /// (`MPI_COMM_WORLD`) is the first `placement.len() - latent_ranks`
+    /// ranks; latent slots are wired (channel + task/thread) at launch but
+    /// stay parked — no `Rank`, no mailbox, no trace track — until a
+    /// sponsor admits them (see `Universe::launch_elastic`).  0 (the
+    /// default) is the classic static universe.
+    pub latent_ranks: usize,
 }
 
 impl UniverseConfig {
@@ -127,6 +135,7 @@ impl UniverseConfig {
             tracer: Tracer::global(),
             injector: None,
             sched: None,
+            latent_ranks: 0,
         }
     }
 
@@ -151,9 +160,29 @@ impl UniverseConfig {
         self
     }
 
-    /// Number of ranks in the job.
+    /// Reserve the *last* `n` placement slots for latent joiners (builder
+    /// style; see the `latent_ranks` field).  Latent slots only come to life
+    /// under [`Universe::launch_elastic`].
+    pub fn with_latent_ranks(mut self, n: usize) -> Self {
+        assert!(
+            n < self.placement.len(),
+            "latent_ranks ({n}) must leave at least one initial rank \
+             (placement has {} slots)",
+            self.placement.len()
+        );
+        self.latent_ranks = n;
+        self
+    }
+
+    /// Number of rank slots in the job (initial world + latent joiners).
     pub fn nprocs(&self) -> usize {
         self.placement.len()
+    }
+
+    /// Size of the initial world (`MPI_COMM_WORLD`): every slot that is not
+    /// a latent joiner.
+    pub fn initial(&self) -> usize {
+        self.nprocs() - self.latent_ranks
     }
 }
 
@@ -172,6 +201,10 @@ pub(crate) struct Shared {
     pub(crate) nic: Arc<NicCounters>,
     /// Per-rank liveness, cleared when a fault plan crashes a rank.
     pub(crate) alive: Vec<AtomicBool>,
+    /// Per-slot admission state (elastic universes): initial-world slots are
+    /// born admitted; a latent slot flips when a sponsor admits it.  The
+    /// sponsor's run epilogue retires every slot still unadmitted.
+    pub(crate) admitted: Vec<AtomicBool>,
     /// Set by `launch_faulty`: sends to a gone mailbox drop silently
     /// instead of unwinding the sender (`RankAborted`).
     pub(crate) faulty: AtomicBool,
@@ -329,6 +362,7 @@ impl Universe {
             windows: Mutex::new(HashMap::new()),
             nic,
             alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            admitted: (0..n).map(|i| AtomicBool::new(i < cfg.initial())).collect(),
             faulty: AtomicBool::new(false),
             exec,
             stage: Mutex::new(std::collections::VecDeque::new()),
@@ -369,15 +403,30 @@ impl Universe {
         F: Fn(&Rank) -> R + Sync,
         R: Send,
     {
+        self.run_bodies(|world_rank, shared, rx, slot: &mut Option<R>| {
+            let rank = Rank::new(world_rank, shared, rx);
+            *slot = Some(f(&rank));
+        })
+    }
+
+    /// The slot-body engine under [`Universe::run_collect`] and
+    /// [`Universe::launch_elastic`]: run one `body` per slot (thread-per-rank
+    /// or M:N tasks, per `cfg.executor`), pairing each slot's result with
+    /// its own panic payload (by slot index).
+    fn run_bodies<B, R>(&self, body: B) -> Vec<Result<R, Box<dyn std::any::Any + Send>>>
+    where
+        B: Fn(usize, Arc<Shared>, Receiver<Envelope>, &mut Option<R>) + Sync,
+        R: Send,
+    {
         let receivers = self.receivers.lock().take().expect("a universe can only be launched once");
         let n = receivers.len();
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
         let payloads = match &self.shared.exec {
             Some(exec) => {
                 let exec = Arc::clone(exec);
-                self.run_ranks_as_tasks(&exec, &f, receivers, &mut results)
+                self.run_ranks_as_tasks(&exec, &body, receivers, &mut results)
             }
-            None => self.run_ranks_as_threads(&f, receivers, &mut results),
+            None => self.run_ranks_as_threads(&body, receivers, &mut results),
         };
         if let Some(t) = &self.shared.cfg.tracer {
             t.flush();
@@ -393,14 +442,14 @@ impl Universe {
     }
 
     /// Thread-per-rank engine: spawn `n` scoped OS threads and join them.
-    fn run_ranks_as_threads<F, R>(
+    fn run_ranks_as_threads<B, R>(
         &self,
-        f: &F,
+        body: &B,
         receivers: Vec<Receiver<Envelope>>,
         results: &mut [Option<R>],
     ) -> Vec<Option<Box<dyn std::any::Any + Send>>>
     where
-        F: Fn(&Rank) -> R + Sync,
+        B: Fn(usize, Arc<Shared>, Receiver<Envelope>, &mut Option<R>) + Sync,
         R: Send,
     {
         let n = receivers.len();
@@ -415,10 +464,7 @@ impl Universe {
                 let handle = std::thread::Builder::new()
                     .name(format!("rank-{world_rank}"))
                     .stack_size(self.shared.cfg.stack_size)
-                    .spawn_scoped(scope, move || {
-                        let rank = Rank::new(world_rank, shared, rx);
-                        *slot = Some(f(&rank));
-                    })
+                    .spawn_scoped(scope, move || body(world_rank, shared, rx, slot))
                     .expect("failed to spawn rank thread");
                 handles.push(handle);
             }
@@ -435,30 +481,28 @@ impl Universe {
     /// fixed work-stealing worker pool (`crate::exec`).  Blocking receives
     /// park the rank's *task* (the mailbox holds its `ParkerHandle`), so a
     /// handful of workers can carry a 10k-rank universe.
-    fn run_ranks_as_tasks<F, R>(
+    fn run_ranks_as_tasks<B, R>(
         &self,
         exec: &Arc<ExecShared>,
-        f: &F,
+        body: &B,
         receivers: Vec<Receiver<Envelope>>,
         results: &mut [Option<R>],
     ) -> Vec<Option<Box<dyn std::any::Any + Send>>>
     where
-        F: Fn(&Rank) -> R + Sync,
+        B: Fn(usize, Arc<Shared>, Receiver<Envelope>, &mut Option<R>) + Sync,
         R: Send,
     {
         let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(receivers.len());
         for (world_rank, (rx, slot)) in receivers.into_iter().zip(results.iter_mut()).enumerate() {
             let shared = Arc::clone(&self.shared);
-            let body: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                let rank = Rank::new(world_rank, shared, rx);
-                *slot = Some(f(&rank));
-            });
+            let task: Box<dyn FnOnce() + Send + '_> =
+                Box::new(move || body(world_rank, shared, rx, slot));
             // SAFETY: lifetime erasure only.  `exec::run_tasks` joins its
             // worker pool (a `thread::scope`) before returning, and every
-            // fiber — run or not — is dropped inside it, so no body (and no
-            // borrow of `f` or `results` it captures) outlives this call.
-            let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
-            bodies.push(body);
+            // fiber — run or not — is dropped inside it, so no task (and no
+            // borrow of `body` or `results` it captures) outlives this call.
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+            bodies.push(task);
         }
         exec::run_tasks(exec, bodies, self.shared.cfg.task_stack_size, self.shared.cfg.deadline)
     }
@@ -527,6 +571,260 @@ impl Universe {
         self.shared.faulty.store(true, Ordering::Relaxed);
         self.run_collect(f).into_iter().map(|r| r.map_err(RankFailure::classify)).collect()
     }
+
+    /// Elastic launch: [`Universe::launch_faulty`] plus membership churn.
+    ///
+    /// Three behaviors stack on top of the recoverable mode:
+    ///
+    /// - **Rolling restarts.**  A rank crashed by the plan whose
+    ///   [`FaultInjector::restart_after_crash`] says so is reborn in place:
+    ///   same world rank, incarnation + 1, fresh clock and mailbox, and `f`
+    ///   runs again (`Rank::incarnation` distinguishes the rebirth).  Its
+    ///   rebirth broadcasts a join notice peers consume with
+    ///   [`Rank::await_rejoin`].
+    /// - **Latent joiners.**  Slots reserved by
+    ///   [`UniverseConfig::with_latent_ranks`] park until a sponsor admits
+    ///   them ([`Rank::admit`] or the plan's [`FaultInjector::join_plan`]);
+    ///   an admitted slot runs `f` with [`Rank::join_comm`] set to the
+    ///   communicator it was admitted into.  When the sponsor (world rank 0)
+    ///   finishes, every slot never admitted is retired and yields
+    ///   `Ok(None)`.
+    /// - **Stale-epoch hygiene.**  In-flight messages addressed to a dead
+    ///   incarnation are dropped deterministically (see
+    ///   [`Rank::stale_dropped`]), and [`Rank::send_checked`] rejects sends
+    ///   on superseded communicators.
+    ///
+    /// Each completed rank yields `Ok(Some(result))`; a rank that died for
+    /// good yields `Err(RankFailure)`.
+    pub fn launch_elastic<F, R>(&self, f: F) -> Vec<Result<Option<R>, RankFailure>>
+    where
+        F: Fn(&Rank) -> R + Sync,
+        R: Send,
+    {
+        self.shared.faulty.store(true, Ordering::Relaxed);
+        self.run_bodies(|world_rank, shared, rx, slot: &mut Option<Option<R>>| {
+            elastic_rank_body(world_rank, shared, rx, &f, slot);
+        })
+        .into_iter()
+        .map(|r| r.map_err(RankFailure::classify))
+        .collect()
+    }
+
+    /// Admit a latent slot from *outside* the running universe: posts an
+    /// admission notice (timestamped at virtual time 0) carrying the initial
+    /// world grown by `joiner`.  Returns whether the notice was posted
+    /// (`false` when the slot is not latent or was already admitted).
+    /// Byte-reproducible runs should prefer in-band admission —
+    /// [`Rank::admit`] or a chaos plan's join schedule — whose timing is a
+    /// pure function of the plan; this entry point exists for driver code
+    /// that steers a universe it does not participate in.
+    pub fn admit(&self, joiner: usize) -> bool {
+        let initial = self.shared.cfg.initial();
+        if joiner < initial || joiner >= self.shared.cfg.nprocs() {
+            return false;
+        }
+        if self.shared.admitted[joiner].swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        let parent = Comm::new(0, Arc::new((0..initial).collect()), 0);
+        let (id, group, epoch) = grow_comm_parts(&parent, &[joiner]);
+        let env = Envelope {
+            src_world: joiner,
+            dst_world: joiner,
+            comm_id: fault::FAULT_COMM,
+            ctx: Ctx::Fault,
+            tag: fault::FAULT_TAG_ADMIT,
+            kind: MsgKind::P2pUser,
+            payload: Payload::Bytes(encode_comm(id, epoch, &group, &vec![0; group.len()])),
+            sent_at_ns: 0.0,
+            arrival_ns: 0.0,
+            wire_seq: None,
+            src_inc: 0,
+            dst_inc: 0,
+        };
+        self.shared.post(joiner, env)
+    }
+}
+
+/// Per-slot driver of [`Universe::launch_elastic`]: the restart loop of an
+/// initial rank, or the parked wait of a latent one.
+fn elastic_rank_body<F, R>(
+    world_rank: usize,
+    shared: Arc<Shared>,
+    rx: Receiver<Envelope>,
+    f: &F,
+    slot: &mut Option<Option<R>>,
+) where
+    F: Fn(&Rank) -> R + Sync,
+    R: Send,
+{
+    let mut join = None;
+    let mut peer_incs = Vec::new();
+    let mut stash = Vec::new();
+    if world_rank >= shared.cfg.initial() {
+        // Latent slot: no `Rank` exists yet — park on the raw channel until
+        // the sponsor's admission (or retirement) notice arrives.
+        match wait_for_admission(world_rank, &shared, &rx) {
+            Some((comm, at, incs, pre)) => {
+                join = Some((comm, at));
+                peer_incs = incs;
+                stash = pre;
+            }
+            None => {
+                *slot = Some(None);
+                return;
+            }
+        }
+    }
+    let mut incarnation = 0u32;
+    loop {
+        let rank =
+            Rank::new_with(world_rank, Arc::clone(&shared), rx.clone(), incarnation, join.clone());
+        // The admission notice carried the members' incarnations: without
+        // them, envelopes toward a previously-reborn peer would be stamped
+        // `dst_inc 0` and stale-dropped by its mailbox.
+        if let Some((comm, _)) = &join {
+            rank.adopt_incarnations(comm.group(), &peer_incs);
+        }
+        // Messages that raced ahead of the admission notice were stashed by
+        // the parked wait; re-admit them before the first receive.
+        for env in stash.drain(..) {
+            rank.mailbox.borrow_mut().readmit(env);
+        }
+        if incarnation > 0 {
+            rank.announce_rejoin();
+        }
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&rank))) {
+            Ok(v) => {
+                if world_rank == 0 {
+                    rank.retire_latents();
+                }
+                *slot = Some(Some(v));
+                return;
+            }
+            Err(payload) => {
+                let restart = payload.downcast_ref::<fault::RankCrashed>().is_some()
+                    && shared
+                        .cfg
+                        .injector
+                        .as_ref()
+                        .is_some_and(|inj| inj.restart_after_crash(world_rank, incarnation));
+                if !restart {
+                    std::panic::resume_unwind(payload);
+                }
+                incarnation += 1;
+            }
+        }
+    }
+}
+
+/// Park a latent slot on its raw channel until the sponsor's verdict:
+/// `Some((comm, arrival_ns, incarnations, stash))` when admitted — `stash`
+/// holding, in arrival order, every envelope that raced ahead of the
+/// admission notice — `None` when retired.  The mailbox is allocated
+/// lazily, right here — a never-admitted slot never owns a `Rank`, a clock
+/// or a trace track.
+fn wait_for_admission(
+    world_rank: usize,
+    shared: &Arc<Shared>,
+    rx: &Receiver<Envelope>,
+) -> Option<(Comm, f64, Vec<u32>, Vec<Envelope>)> {
+    let mut mb = Mailbox::new(rx.clone(), shared.cfg.deadline);
+    if let Some(exec) = &shared.exec {
+        mb.set_parker(exec.parker(world_rank));
+    }
+    let admit = MatchPattern {
+        comm_id: fault::FAULT_COMM,
+        ctx: Ctx::Fault,
+        src: mailbox::SrcSel::Any,
+        tag: TagSel::Is(fault::FAULT_TAG_ADMIT),
+    };
+    let retire = MatchPattern {
+        comm_id: fault::FAULT_COMM,
+        ctx: Ctx::Fault,
+        src: mailbox::SrcSel::Any,
+        tag: TagSel::Is(fault::FAULT_TAG_RETIRE),
+    };
+    match mb.recv_either(&admit, &retire, shared.cfg.deadline) {
+        Ok((env, true)) => {
+            let (comm, incs) = decode_admission(&env.payload, world_rank);
+            Some((comm, env.arrival_ns, incs, mb.drain_unexpected()))
+        }
+        Ok((_, false)) => None,
+        Err(e) => panic!(
+            "latent rank {world_rank}: neither admitted nor retired before the deadline \
+             ({e:?}); an elastic run must admit or retire every latent slot"
+        ),
+    }
+}
+
+/// Derive a grown communicator's identity: like `comm_shrink`'s id fold but
+/// over the joiner list (plus a marker so a grow and a shrink of the same
+/// parent can never collide), with the top bit set to keep derived ids out
+/// of the allocator's range.  Purely local and deterministic: every member
+/// folding the same `(parent, joiners)` derives the same communicator.
+fn grow_comm_parts(parent: &Comm, joiners: &[usize]) -> (u64, Vec<usize>, u64) {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ parent.id() ^ 0x6772_6f77; // "grow"
+    h ^= parent.epoch().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for (i, &j) in joiners.iter().enumerate() {
+        h = (h ^ (((i as u64) << 32) | j as u64)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let id = h | (1 << 63);
+    let mut group: Vec<usize> = parent.group().to_vec();
+    group.extend_from_slice(joiners);
+    (id, group, parent.epoch() + 1)
+}
+
+/// Serialize a communicator for the wire (admission notices): little-endian
+/// `[id, epoch, len, members..., incarnations...]`, all `u64`.  The
+/// incarnation vector is what lets a joiner address peers that have been
+/// reborn: without it, its envelopes toward a restarted rank would carry
+/// `dst_inc 0` and be dropped as stale by the newer incarnation's mailbox.
+fn encode_comm(comm_id: u64, epoch: u64, group: &[usize], incs: &[u32]) -> Vec<u8> {
+    assert_eq!(group.len(), incs.len(), "one incarnation per member");
+    let mut b = Vec::with_capacity(8 * (3 + 2 * group.len()));
+    b.extend_from_slice(&comm_id.to_le_bytes());
+    b.extend_from_slice(&epoch.to_le_bytes());
+    b.extend_from_slice(&(group.len() as u64).to_le_bytes());
+    for &w in group {
+        b.extend_from_slice(&(w as u64).to_le_bytes());
+    }
+    for &inc in incs {
+        b.extend_from_slice(&u64::from(inc).to_le_bytes());
+    }
+    b
+}
+
+/// Inverse of [`encode_comm`], positioned at `my_world`'s communicator rank.
+fn decode_admission(payload: &Payload, my_world: usize) -> (Comm, Vec<u32>) {
+    let Payload::Bytes(b) = payload else {
+        panic!("admission notice must carry a serialized communicator");
+    };
+    assert!(b.len() >= 24 && b.len() % 8 == 0, "malformed admission payload");
+    let word = |i: usize| {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&b[8 * i..8 * i + 8]);
+        u64::from_le_bytes(w)
+    };
+    let id = word(0);
+    let epoch = word(1);
+    let len = word(2) as usize;
+    assert_eq!(b.len(), 8 * (3 + 2 * len), "malformed admission payload");
+    let group: Vec<usize> = (0..len).map(|i| word(3 + i) as usize).collect();
+    let incs: Vec<u32> = (0..len).map(|i| word(3 + len + i) as u32).collect();
+    let Some(my_rank) = group.iter().position(|&w| w == my_world) else {
+        panic!("admission notice for rank {my_world} does not include it (group {group:?})");
+    };
+    (Comm::new_at_epoch(id, Arc::new(group), my_rank, epoch), incs)
+}
+
+/// Parse the incarnation carried by a join notice.
+fn decode_incarnation(payload: &Payload) -> u32 {
+    let Payload::Bytes(b) = payload else {
+        panic!("join notice must carry an incarnation");
+    };
+    assert_eq!(b.len(), 4, "malformed join notice");
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
 }
 
 /// Panic payload of a rank that aborted because a message's destination
@@ -539,6 +837,26 @@ pub struct RankAborted {
     pub src: usize,
     /// The destination world rank whose thread had exited.
     pub dst: usize,
+}
+
+/// Error of [`Rank::send_checked`]: the communicator's membership was
+/// superseded (the sender has derived or been admitted into a newer epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleEpoch {
+    /// Epoch of the communicator the send was attempted on.
+    pub comm_epoch: u64,
+    /// The sender's current membership epoch.
+    pub current_epoch: u64,
+}
+
+impl std::fmt::Display for StaleEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stale membership epoch: communicator at epoch {}, rank at epoch {}",
+            self.comm_epoch, self.current_epoch
+        )
+    }
 }
 
 /// One fault-protocol message, as seen by the failure detector.
@@ -587,15 +905,51 @@ pub struct Rank {
     /// Peers whose death notices this rank has consumed: world rank → the
     /// virtual time of death carried by the notice.
     failed_peers: RefCell<HashMap<usize, f64>>,
+    /// This body's incarnation: 0 for the original, bumped by each
+    /// plan-covered rebirth (`launch_elastic`'s restart loop).
+    incarnation: u32,
+    /// Latest incarnation observed per peer (via join notices consumed by
+    /// `await_rejoin`); stamped onto outgoing envelopes as `dst_inc`.
+    peer_inc: RefCell<HashMap<usize, u32>>,
+    /// Highest communicator epoch this rank has derived or been admitted
+    /// into; `send_checked` rejects sends on communicators older than this.
+    membership_epoch: Cell<u64>,
+    /// The communicator a latent joiner was admitted into (`None` for
+    /// initial-world ranks).
+    join_comm: Option<Comm>,
+    /// The plan's join schedule with per-entry fired flags (fetched once;
+    /// only the sponsor's original incarnation consults it).
+    join_plan: RefCell<Vec<(usize, u64, bool)>>,
 }
 
 impl Rank {
     fn new(world_rank: usize, shared: Arc<Shared>, rx: Receiver<Envelope>) -> Self {
+        Self::new_with(world_rank, shared, rx, 0, None)
+    }
+
+    /// Full constructor (elastic universes): `incarnation > 0` builds a
+    /// reborn body (its track is `rankN.I` and its mailbox filters stale
+    /// incarnations), and `join` carries a latent joiner's admission — the
+    /// grown communicator plus the notice's arrival time, which seeds the
+    /// joiner's clock.
+    fn new_with(
+        world_rank: usize,
+        shared: Arc<Shared>,
+        rx: Receiver<Envelope>,
+        incarnation: u32,
+        join: Option<(Comm, f64)>,
+    ) -> Self {
         let deadline = shared.cfg.deadline;
         let core = shared.core_of(world_rank);
-        let n = shared.cfg.nprocs();
-        let trace = shared.cfg.tracer.as_ref().map(|t| t.track(format!("rank{world_rank}")));
+        let n = shared.cfg.initial();
+        let track = if incarnation > 0 {
+            format!("rank{world_rank}.{incarnation}")
+        } else {
+            format!("rank{world_rank}")
+        };
+        let trace = shared.cfg.tracer.as_ref().map(|t| t.track(track));
         let mut mailbox = Mailbox::new(rx, deadline);
+        mailbox.set_incarnation(incarnation);
         if let Some(t) = &trace {
             mailbox.set_trace(t.clone());
         }
@@ -610,7 +964,22 @@ impl Rank {
             mailbox.set_policy(Arc::clone(policy), world_rank);
         }
         let injector = shared.cfg.injector.clone();
-        Self {
+        let join_plan: Vec<(usize, u64, bool)> = if world_rank == 0 && incarnation == 0 {
+            injector
+                .as_ref()
+                .map_or_else(Vec::new, |inj| inj.join_plan())
+                .into_iter()
+                .map(|(j, at)| (j, at, false))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let (join_comm, joined_at) = match join {
+            Some((c, at_ns)) => (Some(c), at_ns),
+            None => (None, 0.0),
+        };
+        let epoch0 = join_comm.as_ref().map_or(0, Comm::epoch);
+        let rank = Self {
             world_rank,
             core,
             shared,
@@ -627,7 +996,19 @@ impl Rank {
             retries: Cell::new(0),
             link_op: RefCell::new(HashMap::new()),
             failed_peers: RefCell::new(HashMap::new()),
+            incarnation,
+            peer_inc: RefCell::new(HashMap::new()),
+            membership_epoch: Cell::new(epoch0),
+            join_comm,
+            join_plan: RefCell::new(join_plan),
+        };
+        if rank.join_comm.is_some() {
+            // A joiner's clock starts at its admission, and its track opens
+            // with the join event.
+            rank.clock.advance_to(joined_at);
+            rank.record_trace(joined_at, TraceData::RankJoin { incarnation: 0 });
         }
+        rank
     }
 
     // ----- identity & time --------------------------------------------------
@@ -637,9 +1018,41 @@ impl Rank {
         self.world_rank
     }
 
-    /// Number of ranks in the job.
+    /// Number of ranks in the initial world (`MPI_COMM_WORLD`).  Latent
+    /// joiners admitted later are *not* counted; see [`Rank::capacity`].
     pub fn world_size(&self) -> usize {
+        self.shared.cfg.initial()
+    }
+
+    /// Number of rank slots in the universe: the initial world plus every
+    /// latent slot, admitted or not.
+    pub fn capacity(&self) -> usize {
         self.shared.cfg.nprocs()
+    }
+
+    /// This body's incarnation: 0 for the original; a rolling-restart plan
+    /// bumps it on each rebirth (`Universe::launch_elastic`).
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
+    }
+
+    /// The communicator this rank was admitted into, when it joined after
+    /// launch (`None` for initial-world ranks).
+    pub fn join_comm(&self) -> Option<Comm> {
+        self.join_comm.clone()
+    }
+
+    /// Highest membership epoch this rank has derived or observed (see
+    /// [`Rank::send_checked`]).
+    pub fn membership_epoch(&self) -> u64 {
+        self.membership_epoch.get()
+    }
+
+    /// Envelopes this rank's mailbox dropped because they were addressed to
+    /// a dead incarnation of this slot, or sent by a superseded incarnation
+    /// of a peer.
+    pub fn stale_dropped(&self) -> u64 {
+        self.mailbox.borrow().stale_dropped()
     }
 
     /// Core hosting this process.
@@ -695,8 +1108,19 @@ impl Rank {
         self.clock.tick(ns);
     }
 
-    /// `MPI_COMM_WORLD`.
+    /// `MPI_COMM_WORLD` (the *initial* world).
+    ///
+    /// # Panics
+    /// Panics on a latent joiner: a rank admitted after launch is not a
+    /// member of the initial world and must communicate on the grown
+    /// communicator it was admitted into ([`Rank::join_comm`]).
     pub fn comm_world(&self) -> Comm {
+        assert!(
+            self.world_rank < self.world_group.len(),
+            "rank {} joined after launch and is not in MPI_COMM_WORLD; use the grown \
+             communicator it was admitted into (Rank::join_comm)",
+            self.world_rank
+        );
         Comm::new(0, Arc::clone(&self.world_group), self.world_rank)
     }
 
@@ -714,20 +1138,57 @@ impl Rank {
 
     // ----- fault machinery ---------------------------------------------------
 
-    /// Wire-operation prologue: fire the plan's crash point if due, else
-    /// count the op.  A no-op (ops stay 0) without an injector.
+    /// Wire-operation prologue: fire the plan's due joins (sponsor only)
+    /// and its crash point, else count the op.  A no-op (ops stay 0)
+    /// without an injector.  Both churn triggers are gated on
+    /// `incarnation == 0`: a reborn body must not re-fire the crash that
+    /// killed its predecessor, and the join schedule fires once per run.
     fn pre_op(&self) {
         let Some(inj) = &self.injector else { return };
-        if let Some(cp) = inj.crash_point(self.world_rank) {
-            let due = match cp {
-                CrashPoint::OpCount(n) => self.ops.get() >= n,
-                CrashPoint::VirtualTimeNs(t) => self.clock.now_ns() >= t,
-            };
-            if due {
-                self.crash_now();
+        if self.incarnation == 0 {
+            if self.world_rank == 0 {
+                self.fire_due_joins();
+            }
+            if let Some(cp) = inj.crash_point(self.world_rank) {
+                let due = match cp {
+                    CrashPoint::OpCount(n) => self.ops.get() >= n,
+                    CrashPoint::VirtualTimeNs(t) => self.clock.now_ns() >= t,
+                };
+                if due {
+                    self.crash_now();
+                }
             }
         }
         self.ops.set(self.ops.get() + 1);
+    }
+
+    /// The sponsor's half of the plan's join schedule: send the admission
+    /// notice for every entry whose op-count threshold this rank has
+    /// reached.  Admission timing is a pure function of the sponsor's op
+    /// count — the dual of [`CrashPoint::OpCount`] — so a seeded plan's
+    /// membership churn replays byte-identically.  The notice carries the
+    /// initial world grown by the joiner; members construct the identical
+    /// communicator with [`Rank::comm_grow`].
+    fn fire_due_joins(&self) {
+        let due: Vec<usize> = {
+            let mut plan = self.join_plan.borrow_mut();
+            if plan.is_empty() {
+                return;
+            }
+            let ops = self.ops.get();
+            plan.iter_mut()
+                .filter(|(_, at, fired)| !*fired && ops >= *at)
+                .map(|e| {
+                    e.2 = true;
+                    e.0
+                })
+                .collect()
+        };
+        for joiner in due {
+            let world = self.comm_world();
+            let (id, group, epoch) = grow_comm_parts(&world, &[joiner]);
+            self.post_admission(id, epoch, &group, joiner);
+        }
     }
 
     /// Kill this rank: mark it dead, broadcast death notices so peers
@@ -743,7 +1204,7 @@ impl Rank {
         if let Some(t) = &self.trace {
             t.record(now, TraceData::RankCrash { ops });
         }
-        for dst in 0..self.world_size() {
+        for dst in 0..self.capacity() {
             if dst == self.world_rank {
                 continue;
             }
@@ -758,6 +1219,8 @@ impl Rank {
                 sent_at_ns: now,
                 arrival_ns: now,
                 wire_seq: None,
+                src_inc: self.incarnation,
+                dst_inc: 0,
             };
             let _ = self.shared.post(dst, env);
         }
@@ -772,6 +1235,12 @@ impl Rank {
     /// tracing, no injection — the failure detector must stay deterministic
     /// under the very plan it observes).
     fn fault_send(&self, dst_world: usize, tag: u32) {
+        self.fault_send_payload(dst_world, tag, Payload::Synthetic(0));
+    }
+
+    /// [`Rank::fault_send`] with an explicit payload (join and admission
+    /// notices carry data: an incarnation, a serialized communicator).
+    fn fault_send_payload(&self, dst_world: usize, tag: u32, payload: Payload) {
         self.clock.tick(self.shared.cfg.send_overhead_ns);
         let now = self.clock.now_ns();
         let dst_core = self.shared.core_of(dst_world);
@@ -783,16 +1252,19 @@ impl Rank {
             ctx: Ctx::Fault,
             tag,
             kind: MsgKind::P2pUser,
-            payload: Payload::Synthetic(0),
+            payload,
             sent_at_ns: now,
             arrival_ns: now + alpha,
             wire_seq: None,
+            src_inc: self.incarnation,
+            dst_inc: 0,
         };
         let _ = self.shared.post(dst_world, env);
     }
 
     /// Receive one fault-protocol message from a specific peer: its
-    /// liveness ping, or its death notice.
+    /// liveness ping, or its death notice.  Death notices from superseded
+    /// incarnations (the peer has since been reborn) are swallowed.
     fn fault_recv(&self, src_world: usize) -> FaultMsg {
         let pat = MatchPattern {
             comm_id: fault::FAULT_COMM,
@@ -800,12 +1272,158 @@ impl Rank {
             src: mailbox::SrcSel::World(src_world),
             tag: TagSel::Any,
         };
+        loop {
+            let env = self.mailbox.borrow_mut().recv_match(&pat);
+            if env.tag == fault::FAULT_TAG_DEATH {
+                if env.src_inc < self.peer_incarnation_of(src_world) {
+                    continue;
+                }
+                self.clock.advance_to(env.arrival_ns);
+                return FaultMsg::Death { at_ns: env.sent_at_ns };
+            }
+            self.clock.advance_to(env.arrival_ns);
+            return FaultMsg::Ping;
+        }
+    }
+
+    /// The newest incarnation this rank knows for a peer (0 until a join or
+    /// admission notice reports otherwise).
+    fn peer_incarnation_of(&self, world: usize) -> u32 {
+        self.peer_inc.borrow().get(&world).copied().unwrap_or(0)
+    }
+
+    // ----- elastic membership ------------------------------------------------
+
+    /// A reborn body's prologue: come back alive and broadcast a join
+    /// notice (carrying the new incarnation) to every slot — the dual of
+    /// `crash_now`'s death notices.  Survivors consume it with
+    /// [`Rank::await_rejoin`].
+    pub(crate) fn announce_rejoin(&self) {
+        self.shared.alive[self.world_rank].store(true, Ordering::Relaxed);
+        self.record_trace(
+            self.clock.now_ns(),
+            TraceData::RankJoin { incarnation: self.incarnation },
+        );
+        for dst in 0..self.capacity() {
+            if dst == self.world_rank {
+                continue;
+            }
+            self.fault_send_payload(
+                dst,
+                fault::FAULT_TAG_JOIN,
+                Payload::Bytes(self.incarnation.to_le_bytes().to_vec()),
+            );
+        }
+    }
+
+    /// Wait for the join notice of a peer expected to restart: returns its
+    /// new incarnation, forgets its death, and from now on stamps outgoing
+    /// envelopes to it with the new incarnation — the dual of
+    /// [`Rank::recv_or_failure`]'s death path.
+    ///
+    /// # Panics
+    /// Panics (deadlock detector) when no join notice arrives within the
+    /// configured deadline.
+    pub fn await_rejoin(&self, world: usize) -> u32 {
+        let pat = MatchPattern {
+            comm_id: fault::FAULT_COMM,
+            ctx: Ctx::Fault,
+            src: mailbox::SrcSel::World(world),
+            tag: TagSel::Is(fault::FAULT_TAG_JOIN),
+        };
         let env = self.mailbox.borrow_mut().recv_match(&pat);
         self.clock.advance_to(env.arrival_ns);
-        if env.tag == fault::FAULT_TAG_DEATH {
-            FaultMsg::Death { at_ns: env.sent_at_ns }
-        } else {
-            FaultMsg::Ping
+        let inc = decode_incarnation(&env.payload);
+        self.peer_inc.borrow_mut().insert(world, inc);
+        self.failed_peers.borrow_mut().remove(&world);
+        inc
+    }
+
+    /// Wait for an admission notice and return the grown communicator it
+    /// carries — the joiner half of [`Rank::admit`] /
+    /// [`Rank::send_admission`].  Used by a *reborn* rank to learn the
+    /// communicator its survivors grew for it; a latent slot's first
+    /// admission is consumed before the rank body even runs (its result is
+    /// [`Rank::join_comm`]).
+    pub fn recv_admission(&self) -> Comm {
+        let pat = MatchPattern {
+            comm_id: fault::FAULT_COMM,
+            ctx: Ctx::Fault,
+            src: mailbox::SrcSel::Any,
+            tag: TagSel::Is(fault::FAULT_TAG_ADMIT),
+        };
+        let env = self.mailbox.borrow_mut().recv_match(&pat);
+        self.clock.advance_to(env.arrival_ns);
+        let (comm, incs) = decode_admission(&env.payload, self.world_rank);
+        self.adopt_incarnations(comm.group(), &incs);
+        self.note_epoch(comm.epoch());
+        comm
+    }
+
+    /// Adopt the peer-incarnation vector carried by an admission notice, so
+    /// envelopes toward previously-reborn members are stamped correctly.
+    /// Never lowers a known incarnation (a join notice may already have
+    /// reported a newer one).
+    fn adopt_incarnations(&self, group: &[usize], incs: &[u32]) {
+        let mut peers = self.peer_inc.borrow_mut();
+        for (&w, &inc) in group.iter().zip(incs) {
+            if w != self.world_rank && inc > peers.get(&w).copied().unwrap_or(0) {
+                peers.insert(w, inc);
+            }
+        }
+    }
+
+    /// Send an admission notice for a grown communicator to a joiner
+    /// (fault-protocol traffic: no monitoring, no injection).  The grown
+    /// communicator must include the joiner.  Admission of *latent* slots
+    /// should be driven by the sponsor (world rank 0) so it cannot race the
+    /// sponsor's end-of-run retirement sweep.
+    pub fn send_admission(&self, grown: &Comm, joiner: usize) {
+        assert!(
+            grown.contains_world(joiner),
+            "admission notice must cover the joiner (rank {joiner} not in {:?})",
+            grown.group()
+        );
+        self.post_admission(grown.id(), grown.epoch(), grown.group(), joiner);
+    }
+
+    fn post_admission(&self, id: u64, epoch: u64, group: &[usize], joiner: usize) {
+        self.shared.admitted[joiner].store(true, Ordering::SeqCst);
+        let incs: Vec<u32> = {
+            let peers = self.peer_inc.borrow();
+            group
+                .iter()
+                .map(|&w| {
+                    if w == self.world_rank {
+                        self.incarnation
+                    } else {
+                        peers.get(&w).copied().unwrap_or(0)
+                    }
+                })
+                .collect()
+        };
+        self.fault_send_payload(
+            joiner,
+            fault::FAULT_TAG_ADMIT,
+            Payload::Bytes(encode_comm(id, epoch, group, &incs)),
+        );
+    }
+
+    /// Retire every latent slot never admitted (the sponsor's epilogue in
+    /// `launch_elastic`: a parked slot would otherwise wait out the
+    /// deadline).  Idempotent per slot.
+    pub(crate) fn retire_latents(&self) {
+        for w in self.shared.cfg.initial()..self.capacity() {
+            if !self.shared.admitted[w].swap(true, Ordering::SeqCst) {
+                self.fault_send(w, fault::FAULT_TAG_RETIRE);
+            }
+        }
+    }
+
+    /// Raise this rank's membership-epoch watermark.
+    fn note_epoch(&self, epoch: u64) {
+        if epoch > self.membership_epoch.get() {
+            self.membership_epoch.set(epoch);
         }
     }
 
@@ -924,6 +1542,8 @@ impl Rank {
             sent_at_ns: sent_at,
             arrival_ns: sent_at + cost + extra_delay,
             wire_seq,
+            src_inc: self.incarnation,
+            dst_inc: self.peer_inc.borrow().get(&dst_world).copied().unwrap_or(0),
         };
         // Duplicate-delivery faults: extra copies trail the primary by one
         // latency each; the receiver's sequence filter drops every copy
@@ -1088,6 +1708,29 @@ impl Rank {
         (T::from_bytes(&env.payload.expect_bytes()), status)
     }
 
+    /// Epoch-checked send: like [`Rank::send`], but deterministically
+    /// rejected when `comm`'s membership has been superseded by a
+    /// `comm_shrink` / `comm_grow` this rank performed or observed.  The
+    /// check is sender-side and purely local, so a stale send fails the
+    /// same way on every executor and every run — rather than being
+    /// misdelivered into a communicator whose membership has moved on.
+    pub fn send_checked<T: Scalar>(
+        &self,
+        comm: &Comm,
+        dst: usize,
+        tag: u32,
+        data: &[T],
+    ) -> Result<(), StaleEpoch> {
+        if comm.epoch() < self.membership_epoch.get() {
+            return Err(StaleEpoch {
+                comm_epoch: comm.epoch(),
+                current_epoch: self.membership_epoch.get(),
+            });
+        }
+        self.send(comm, dst, tag, data);
+        Ok(())
+    }
+
     /// Send a size-only synthetic message (classified as user p2p traffic).
     pub fn send_synthetic(&self, comm: &Comm, dst: usize, tag: u32, bytes: u64) {
         self.wire_send(comm, dst, tag, Ctx::Pt2pt, MsgKind::P2pUser, Payload::Synthetic(bytes));
@@ -1201,28 +1844,39 @@ impl Rank {
             src: mailbox::SrcSel::World(src_world),
             tag: TagSel::Is(fault::FAULT_TAG_DEATH),
         };
-        let res = {
-            let mut mb = self.mailbox.borrow_mut();
-            mb.recv_either(&data_pat, &death_pat, self.shared.cfg.deadline).map(|(env, is_data)| {
-                let depth = mb.unexpected_len();
-                (env, is_data, depth)
-            })
-        };
-        match res {
-            Ok((env, true, depth)) => {
-                let env = self.finish_recv(env, depth);
-                let status = Status { src, tag: env.tag, bytes: env.payload.len_bytes() };
-                Ok((T::from_bytes(&env.payload.expect_bytes()), status))
+        loop {
+            let res = {
+                let mut mb = self.mailbox.borrow_mut();
+                mb.recv_either(&data_pat, &death_pat, self.shared.cfg.deadline).map(
+                    |(env, is_data)| {
+                        let depth = mb.unexpected_len();
+                        (env, is_data, depth)
+                    },
+                )
+            };
+            match res {
+                Ok((env, true, depth)) => {
+                    let env = self.finish_recv(env, depth);
+                    let status = Status { src, tag: env.tag, bytes: env.payload.len_bytes() };
+                    return Ok((T::from_bytes(&env.payload.expect_bytes()), status));
+                }
+                Ok((env, false, _)) => {
+                    // A death notice from a superseded incarnation is stale:
+                    // the peer has since been reborn (this rank learned the
+                    // newer incarnation from a join or admission notice).
+                    // Swallow it and keep waiting for live traffic.
+                    if env.src_inc < self.peer_incarnation_of(src_world) {
+                        continue;
+                    }
+                    self.failed_peers.borrow_mut().insert(src_world, env.sent_at_ns);
+                    self.clock.advance_to(env.arrival_ns);
+                    return Err(PeerFailure { world: src_world, at_ns: env.sent_at_ns });
+                }
+                Err(e) => panic!(
+                    "recv_or_failure: neither data nor a death notice from world rank \
+                     {src_world} ({e:?}) while waiting for {data_pat:?}"
+                ),
             }
-            Ok((env, false, _)) => {
-                self.failed_peers.borrow_mut().insert(src_world, env.sent_at_ns);
-                self.clock.advance_to(env.arrival_ns);
-                Err(PeerFailure { world: src_world, at_ns: env.sent_at_ns })
-            }
-            Err(e) => panic!(
-                "recv_or_failure: neither data nor a death notice from world rank \
-                 {src_world} ({e:?}) while waiting for {data_pat:?}"
-            ),
         }
     }
 
@@ -1279,7 +1933,51 @@ impl Rank {
         let group: Vec<usize> =
             (0..comm.size()).filter(|&r| alive[r]).map(|r| comm.world_rank_of(r)).collect();
         let my_rank = (0..comm.rank()).filter(|&r| alive[r]).count();
-        Comm::new(id, Arc::new(group), my_rank)
+        let epoch = comm.epoch() + 1;
+        self.note_epoch(epoch);
+        let shrunk = Comm::new_at_epoch(id, Arc::new(group), my_rank, epoch);
+        self.record_trace(
+            self.clock.now_ns(),
+            TraceData::EpochBump { comm: shrunk.id(), epoch, size: shrunk.size() },
+        );
+        shrunk
+    }
+
+    /// The dual of [`Rank::comm_shrink`]: grow a communicator by admitted
+    /// joiners, purely locally.  Every member folds the same
+    /// `(parent id, parent epoch, joiners)` into the same derived id, so no
+    /// collective round is needed; joiners are appended after the parent's
+    /// order, sorted by world rank.  Bumps this rank's membership epoch:
+    /// [`Rank::send_checked`] traffic against the parent is rejected from
+    /// here on.
+    pub fn comm_grow(&self, comm: &Comm, joiners: &[usize]) -> Comm {
+        assert!(!joiners.is_empty(), "comm_grow needs at least one joiner");
+        let mut js = joiners.to_vec();
+        js.sort_unstable();
+        js.dedup();
+        for &j in &js {
+            assert!(j < self.capacity(), "comm_grow: joiner {j} is outside the universe");
+            assert!(!comm.contains_world(j), "comm_grow: joiner {j} is already a member");
+        }
+        let (id, group, epoch) = grow_comm_parts(comm, &js);
+        self.note_epoch(epoch);
+        let grown = Comm::new_at_epoch(id, Arc::new(group), comm.rank(), epoch);
+        self.record_trace(
+            self.clock.now_ns(),
+            TraceData::EpochBump { comm: grown.id(), epoch, size: grown.size() },
+        );
+        grown
+    }
+
+    /// Grow `comm` by one joiner *and* send it the admission notice — the
+    /// sponsor side of the join protocol.  The other members call
+    /// [`Rank::comm_grow`] with the same arguments (deriving the identical
+    /// communicator); the joiner receives it via [`Rank::join_comm`]
+    /// (latent slot) or [`Rank::recv_admission`] (reborn rank).
+    pub fn admit(&self, comm: &Comm, joiner: usize) -> Comm {
+        let grown = self.comm_grow(comm, &[joiner]);
+        self.send_admission(&grown, joiner);
+        grown
     }
 
     /// The configured deadlock-detector deadline (for fallible receives).

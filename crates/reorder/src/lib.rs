@@ -340,6 +340,29 @@ pub fn elastic_placement(
     Placement::explicit(sigma.into_iter().map(|s| available_cores[s]).collect())
 }
 
+/// Extend a reordering permutation over a **grown** communicator: the first
+/// `k.len()` ranks keep the mapping computed on the pre-growth membership
+/// and every joiner (appended by `Rank::comm_grow` after the existing
+/// members) maps to itself — joiners have no monitored history yet, so
+/// identity is the only defensible placement until the next reorder round
+/// observes them.  The result is a permutation of `0..new_n` whenever `k`
+/// was one of `0..k.len()`.
+///
+/// Together with `Monitoring::rebind_session`, this is how the Fig. 1 loop
+/// rides out elastic growth: shrink handled inside
+/// [`monitored_reorder_resilient`], growth by rebinding the session to the
+/// grown communicator and extending the last permutation with this helper.
+///
+/// # Panics
+/// Panics when `new_n < k.len()` — growing cannot lose members (that is
+/// what `comm_shrink` is for).
+pub fn grow_mapping(k: &[usize], new_n: usize) -> Vec<usize> {
+    assert!(new_n >= k.len(), "grow_mapping cannot shrink: {} -> {new_n}", k.len());
+    let mut out = k.to_vec();
+    out.extend(k.len()..new_n);
+    out
+}
+
 /// Redistribute per-role data after a reordering: old rank `i` receives the
 /// data of its new role `k[i]` from old rank `k[i]`, and ships its own to
 /// old rank `k⁻¹[i]` (paper: "data is sent from rank `k[i]` to rank `i` in
@@ -383,6 +406,22 @@ mod tests {
         let peer = if me.is_multiple_of(2) { me + 1 } else { me - 1 };
         rank.send_synthetic(comm, peer, 9, bytes);
         rank.recv_synthetic(comm, SrcSel::Rank(peer), TagSel::Is(9));
+    }
+
+    #[test]
+    fn grow_mapping_extends_with_identity() {
+        let k = vec![2, 0, 1, 3];
+        assert_eq!(grow_mapping(&k, 6), vec![2, 0, 1, 3, 4, 5]);
+        // Still a permutation (inverse_permutation asserts that).
+        let _ = inverse_permutation(&grow_mapping(&k, 6));
+        // Growing by zero is the identity transformation.
+        assert_eq!(grow_mapping(&k, 4), k);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn grow_mapping_rejects_shrinking() {
+        let _ = grow_mapping(&[0, 1, 2], 2);
     }
 
     #[test]

@@ -145,6 +145,24 @@ pub enum TraceData {
         /// Wire operations the rank completed before dying.
         ops: u64,
     },
+    /// This rank joined a running universe: a latent slot was admitted
+    /// (incarnation 0, the first event of its track), or a crashed rank was
+    /// reborn by a rolling-restart plan (incarnation > 0, the first event
+    /// of its `rankN.I` track).
+    RankJoin {
+        /// Incarnation of the joining body (0 = fresh latent joiner).
+        incarnation: u32,
+    },
+    /// A membership-epoch transition: this rank derived a communicator one
+    /// epoch newer than its parent (`comm_shrink` / `comm_grow`).
+    EpochBump {
+        /// Id of the derived communicator.
+        comm: u64,
+        /// Its membership epoch.
+        epoch: u64,
+        /// Its member count.
+        size: usize,
+    },
     /// One step of the schedule evaluator's discrete-event engine.
     DesStep {
         /// Simulated communicator rank executing the step.
@@ -451,6 +469,10 @@ fn describe(data: &TraceData) -> String {
             format!("RETRY -> rank {dst} attempt {attempt} backoff {backoff_ns}ns")
         }
         TraceData::RankCrash { ops } => format!("RANK CRASH after {ops} wire ops"),
+        TraceData::RankJoin { incarnation } => format!("RANK JOIN incarnation {incarnation}"),
+        TraceData::EpochBump { comm, epoch, size } => {
+            format!("epoch bump comm={comm} epoch={epoch} size={size}")
+        }
         TraceData::DesStep { rank, op, peer, bytes } => {
             format!("des rank {rank} {op} peer {peer} {bytes}B")
         }
@@ -536,6 +558,15 @@ fn jsonl_line(track: &str, tid: usize, ev: &TraceEvent) -> String {
         TraceData::RankCrash { ops } => {
             let _ = write!(s, "\"type\":\"rank_crash\",\"ops\":{ops}");
         }
+        TraceData::RankJoin { incarnation } => {
+            let _ = write!(s, "\"type\":\"rank_join\",\"incarnation\":{incarnation}");
+        }
+        TraceData::EpochBump { comm, epoch, size } => {
+            let _ = write!(
+                s,
+                "\"type\":\"epoch_bump\",\"comm\":{comm},\"epoch\":{epoch},\"size\":{size}"
+            );
+        }
         TraceData::DesStep { rank, op, peer, bytes } => {
             let _ = write!(
                 s,
@@ -585,6 +616,14 @@ fn chrome_line(tid: usize, ev: &TraceEvent) -> String {
         TraceData::RankCrash { ops } => format!(
             "\"name\":\"rank_crash\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
              \"args\":{{\"ops\":{ops}}}"
+        ),
+        TraceData::RankJoin { incarnation } => format!(
+            "\"name\":\"rank_join\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+             \"args\":{{\"incarnation\":{incarnation}}}"
+        ),
+        TraceData::EpochBump { comm, epoch, size } => format!(
+            "\"name\":\"epoch_bump\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"args\":{{\
+             \"comm\":{comm},\"epoch\":{epoch},\"size\":{size}}}"
         ),
         TraceData::DesStep { rank, op, peer, bytes } => format!(
             "\"name\":\"des_{op}\",\"cat\":\"des\",\"ph\":\"i\",\"s\":\"t\",\"args\":{{\

@@ -32,7 +32,7 @@ done
 # Hot-path microbenches (matching + DES evaluator + trace record sites +
 # static analyzer) ride along so a plain ./run_benches.sh always refreshes
 # their numbers too.
-for bench in mailbox_matching des_evaluate trace_overhead analyze_schedule analyze_races chaos_overhead retry_storm universe_scale monitor_scale; do
+for bench in mailbox_matching des_evaluate trace_overhead analyze_schedule analyze_races chaos_overhead retry_storm universe_scale monitor_scale elastic_churn; do
   echo "===== bench $bench start $(date +%T)"
   if cargo bench --offline -p mim-bench --bench "$bench" \
       > "$results_dir/logs/bench_$bench.log" 2>&1; then

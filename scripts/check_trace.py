@@ -38,6 +38,8 @@ EVENT_FIELDS = {
     "send_failed": {"dst"},
     "retry": {"dst", "attempt", "backoff_ns"},
     "rank_crash": {"ops"},
+    "rank_join": {"incarnation"},
+    "epoch_bump": {"comm", "epoch", "size"},
     "recv": {"src", "bytes", "comm", "tag", "uq"},
     "coll_begin": {"name", "comm", "id"},
     "coll_end": {"name", "comm", "id"},
@@ -122,6 +124,8 @@ def parse_chrome(text, errors):
         "send_failed": "send_failed",
         "retry": "retry",
         "rank_crash": "rank_crash",
+        "rank_join": "rank_join",
+        "epoch_bump": "epoch_bump",
         "recv": "recv",
     }
     events = []
@@ -182,13 +186,16 @@ def check(events, errors):
     # Receive/send pairing (aggregate multiset containment per channel).
     # Ranks talk across track instances within one universe, and universes
     # run one after another in a process, so the aggregate over name-level
-    # ranks is the honest containment check either way.
+    # ranks is the honest containment check either way.  A reborn
+    # incarnation's track is named ``rankN.I`` — its traffic aggregates
+    # under world rank N, which is how receivers record the source.
     sent = collections.Counter()
     received = collections.Counter()
     for name, _, _, _, kind, ev in events:
-        if not name.startswith("rank") or not name.removeprefix("rank").isdigit():
+        base = name.removeprefix("rank").split(".")[0]
+        if not name.startswith("rank") or not base.isdigit():
             continue
-        me = int(name.removeprefix("rank"))
+        me = int(base)
         if kind == "send" and ev["kind"] != "osc":
             sent[(me, ev["dst"], ev["bytes"], ev["comm"], ev["tag"])] += 1
         elif kind == "recv":

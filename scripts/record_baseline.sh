@@ -25,7 +25,7 @@ trap 'rm -f "$lines_file"' EXIT
 
 cargo build --release --offline -p mim-bench --benches --bins
 
-for bench in hook_overhead treematch coll_algorithms mailbox_matching des_evaluate trace_overhead analyze_schedule analyze_races chaos_overhead retry_storm universe_scale monitor_scale; do
+for bench in hook_overhead treematch coll_algorithms mailbox_matching des_evaluate trace_overhead analyze_schedule analyze_races chaos_overhead retry_storm universe_scale monitor_scale elastic_churn; do
   echo "===== microbench $bench"
   MIM_BENCH_JSON="$lines_file" cargo bench --offline -p mim-bench --bench "$bench" \
     > "$results_dir/logs/bench_$bench.log" 2>&1
